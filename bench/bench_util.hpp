@@ -1,0 +1,70 @@
+// Shared plumbing for the benchmark harnesses: every bench binary reproduces
+// one table or figure of RR-7510 §7 and prints (a) the paper's series as an
+// aligned table, (b) optional CSV via --csv, and (c) a shape-check verdict
+// line ("SHAPE-OK ..." / "SHAPE-INFO ...") summarizing whether the
+// qualitative finding of the paper holds on our reproduction.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace streamflow::bench {
+
+/// Parses the standard bench flags. --csv prints the raw series as CSV after
+/// the table; --quick shrinks the workload (used by CI / smoke runs).
+struct BenchArgs {
+  bool csv = false;
+  bool quick = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--csv") args.csv = true;
+      if (a == "--quick") args.quick = true;
+    }
+    return args;
+  }
+};
+
+inline void emit(const Table& table, const std::string& title,
+                 const BenchArgs& args) {
+  table.print(std::cout, title);
+  if (args.csv) {
+    std::cout << "\n";
+    table.print_csv(std::cout);
+  }
+}
+
+/// Shape-check verdict helpers: benches assert the qualitative claims of the
+/// paper (who wins, rough factors, crossovers) rather than absolute numbers.
+inline void shape_ok(const std::string& message) {
+  std::cout << "SHAPE-OK   " << message << "\n";
+}
+inline void shape_fail(const std::string& message) {
+  std::cout << "SHAPE-FAIL " << message << "\n";
+}
+inline void shape_check(bool ok, const std::string& message) {
+  (ok ? shape_ok : shape_fail)(message);
+}
+inline void shape_info(const std::string& message) {
+  std::cout << "SHAPE-INFO " << message << "\n";
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace streamflow::bench

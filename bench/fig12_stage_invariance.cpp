@@ -1,0 +1,55 @@
+// Figure 12 (§7.4): model fidelity — the throughput of a chain made of k
+// copies of a (5 senders -> 7 receivers) costly-communication pattern does
+// NOT depend on the number of stages, because the Overlap net is
+// feed-forward (no backward dependences). Series are normalized to the
+// Theorem 4 value.
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "fixtures.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "young/pattern_analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamflow;
+  using namespace streamflow::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  // Theorem 4: a single 5x7 pattern at rate 1 has inner flow 35/11.
+  const double theorem = pattern_flow_exponential_homogeneous(5, 7, 1.0);
+
+  std::vector<std::size_t> copies{1, 2, 4, 6, 8, 10, 12};
+  if (args.quick) copies = {1, 3, 6};
+
+  Table table({"stages", "Cst(Simgrid)", "Exp(Simgrid)", "Exp(Theorem)",
+               "Exp/Theorem"});
+  double min_ratio = 1e9, max_ratio = 0.0;
+  for (const std::size_t k : copies) {
+    const Mapping mapping = fig12_system(k);
+    PipelineSimOptions options;
+    options.data_sets = args.quick ? 20'000 : 60'000;
+    const double cst =
+        simulate_pipeline(mapping, ExecutionModel::kOverlap,
+                          StochasticTiming::deterministic(mapping), options)
+            .throughput;
+    const double exp =
+        simulate_pipeline(mapping, ExecutionModel::kOverlap,
+                          StochasticTiming::exponential(mapping), options)
+            .throughput;
+    const double ratio = exp / theorem;
+    min_ratio = std::min(min_ratio, ratio);
+    max_ratio = std::max(max_ratio, ratio);
+    table.add_row({static_cast<std::int64_t>(2 * k), cst, exp, theorem,
+                   ratio});
+  }
+  emit(table, "Fig 12 — throughput vs number of stages (5x7 pattern chain)",
+       args);
+
+  shape_check(max_ratio - min_ratio < 0.05,
+              "exponential throughput is invariant in the number of stages "
+              "(spread " +
+                  std::to_string(100.0 * (max_ratio - min_ratio)) +
+                  "%, paper: flat)");
+  shape_check(relative_difference(max_ratio, 1.0) < 0.05,
+              "simulation matches Theorem 4's closed form");
+  return 0;
+}

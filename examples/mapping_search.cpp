@@ -1,0 +1,71 @@
+// Mapping search — the paper's future-work direction made concrete.
+//
+// Given an application and a heterogeneous platform, find a high-throughput
+// one-to-many mapping using the throughput evaluators as the objective.
+// The example contrasts the deterministic and exponential objectives: a
+// mapping tuned for constant times can overcommit replication patterns that
+// the exponential analysis reveals to be fragile (the uv/(u+v-1) penalty),
+// so optimizing the exponential objective yields deployments that are
+// robust to timing variability.
+//
+// Build & run:  ./build/examples/mapping_search
+#include <iomanip>
+#include <iostream>
+
+#include "core/analyzer.hpp"
+#include "core/heuristics.hpp"
+#include "sim/pipeline_sim.hpp"
+
+int main() {
+  using namespace streamflow;
+
+  // A 4-stage analytics pipeline on a 12-node heterogeneous cluster.
+  Application app({2.0, 9.0, 5.0, 1.5}, {3.0, 2.0, 0.5});
+  std::vector<double> speeds{2.5, 1.0, 1.0, 1.8, 0.7, 2.2,
+                             1.3, 0.9, 1.6, 1.1, 2.0, 0.8};
+  Platform platform = Platform::fully_connected(speeds, 4.0);
+
+  std::cout << std::fixed << std::setprecision(4);
+  std::cout << "application: " << app.to_string() << "\n";
+  std::cout << "platform   : " << platform.to_string() << "\n\n";
+
+  for (const MappingObjective objective :
+       {MappingObjective::kDeterministic, MappingObjective::kExponential}) {
+    MappingSearchOptions options;
+    options.objective = objective;
+    options.restarts = 6;
+    options.seed = 7;
+    const auto result = optimize_mapping(app, platform, options);
+
+    const double det =
+        deterministic_throughput(result.mapping, ExecutionModel::kOverlap)
+            .throughput;
+    const double exp =
+        exponential_throughput(result.mapping, ExecutionModel::kOverlap)
+            .throughput;
+    PipelineSimOptions sim_options;
+    sim_options.data_sets = 60'000;
+    const auto sim = simulate_pipeline(
+        result.mapping, ExecutionModel::kOverlap,
+        StochasticTiming::exponential(result.mapping), sim_options);
+
+    std::cout << "objective "
+              << (objective == MappingObjective::kDeterministic
+                      ? "DETERMINISTIC"
+                      : "EXPONENTIAL")
+              << ":\n";
+    std::cout << "  best mapping : " << result.mapping.to_string() << "\n";
+    std::cout << "  evaluations  : " << result.evaluations
+              << " (greedy start " << result.greedy_throughput << ")\n";
+    std::cout << "  det analysis : " << det << "\n";
+    std::cout << "  exp analysis : " << exp << "\n";
+    std::cout << "  exp simulated: " << sim.throughput
+              << "  (mean latency " << sim.mean_latency << ")\n\n";
+  }
+
+  std::cout << "Takeaway: score mappings with the exponential objective when "
+               "service times vary;\nthe deterministic objective can prefer "
+               "coprime replication patterns whose\nthroughput degrades by "
+               "up to max(u,v)/(u+v-1) under randomness (Fig 15).\n";
+  return 0;
+}

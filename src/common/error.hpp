@@ -1,0 +1,70 @@
+// Error handling primitives shared across all streamflow modules.
+//
+// Library code throws typed exceptions derived from streamflow::Error.
+// SF_CHECK / SF_REQUIRE are used for precondition validation on public API
+// boundaries; they always stay enabled (they guard user input, not internal
+// invariants). SF_ASSERT guards internal invariants and may be compiled out.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace streamflow {
+
+/// Base class of all exceptions thrown by streamflow.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid user input: malformed application, platform, or mapping.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A computation exceeded a configured resource cap (e.g. the reachable
+/// marking count of a CTMC, or the lcm-row count of an unfolded TPN).
+class CapacityExceeded : public Error {
+ public:
+  explicit CapacityExceeded(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or met a singular system.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace streamflow
+
+/// Validate a user-facing precondition; throws InvalidArgument on failure.
+#define SF_REQUIRE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::streamflow::detail::throw_check_failure("precondition", #cond,     \
+                                                __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (0)
+
+/// Validate an internal invariant; throws (never compiled out — the cost is
+/// negligible next to the analyses these guard).
+#define SF_ASSERT(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::streamflow::detail::throw_check_failure("invariant", #cond,        \
+                                                __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (0)

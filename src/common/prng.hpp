@@ -1,0 +1,162 @@
+// Deterministic, platform-independent pseudo-random number generation.
+//
+// Simulation experiments must be reproducible bit-for-bit across machines, so
+// we do not rely on std::default_random_engine (implementation defined) nor on
+// std::*_distribution (unspecified algorithms). This header provides
+// xoshiro256++ seeded through splitmix64, plus the uniform/normal/gamma/beta
+// transforms the dist/ module builds on. All transforms are written out
+// explicitly so results never vary with the standard library.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace streamflow {
+
+/// splitmix64: used to expand a single 64-bit seed into a full xoshiro state.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Prng(std::uint64_t seed = 0x853C49E6748FEA9BULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as log() argument.
+  double uniform01_open_low() { return 1.0 - uniform01(); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    SF_REQUIRE(lo <= hi, "uniform bounds out of order");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    SF_REQUIRE(n > 0, "uniform_index over empty range");
+    // Lemire's unbiased bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Exponential with rate lambda (mean 1/lambda) by inversion.
+  double exponential(double lambda) {
+    SF_REQUIRE(lambda > 0.0, "exponential rate must be positive");
+    return -std::log(uniform01_open_low()) / lambda;
+  }
+
+  /// Standard normal via Marsaglia polar method (explicit, portable).
+  double normal01() {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    has_cached_normal_ = true;
+    return u * factor;
+  }
+
+  /// Gamma(shape, scale=1) via Marsaglia–Tsang for shape >= 1; boosting for
+  /// shape < 1 (Gamma(a) = Gamma(a+1) * U^{1/a}).
+  double gamma(double shape) {
+    SF_REQUIRE(shape > 0.0, "gamma shape must be positive");
+    if (shape < 1.0) {
+      const double u = uniform01_open_low();
+      return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x, w;
+      do {
+        x = normal01();
+        w = 1.0 + c * x;
+      } while (w <= 0.0);
+      w = w * w * w;
+      const double u = uniform01_open_low();
+      if (u < 1.0 - 0.0331 * (x * x) * (x * x)) return d * w;
+      if (std::log(u) < 0.5 * x * x + d * (1.0 - w + std::log(w))) return d * w;
+    }
+  }
+
+  /// Beta(alpha, beta) via two gammas.
+  double beta(double alpha, double beta_param) {
+    const double x = gamma(alpha);
+    const double y = gamma(beta_param);
+    return x / (x + y);
+  }
+
+  /// Derive an independent child stream (for per-resource streams in the
+  /// simulators; streams seeded from distinct indices never overlap in
+  /// practice thanks to splitmix64 scrambling).
+  Prng split(std::uint64_t stream_index) {
+    std::uint64_t s = (*this)() ^ (0x9E3779B97F4A7C15ULL * (stream_index + 1));
+    return Prng(s);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace streamflow

@@ -1,0 +1,89 @@
+// Streaming statistics (Welford) and summary helpers used by the simulators
+// and the benchmark harnesses (Fig 11 reports min/max/avg/stddev across runs).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace streamflow {
+
+/// Numerically stable single-pass accumulator for mean/variance/extrema.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Half-width of the ~95% normal confidence interval on the mean.
+  double ci95_halfwidth() const {
+    if (count_ < 2) return std::numeric_limits<double>::infinity();
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Relative difference |a-b| / max(|a|,|b|, eps); used by cross-validation
+/// tests comparing analytical and simulated throughputs.
+inline double relative_difference(double a, double b) {
+  const double scale =
+      std::max({std::fabs(a), std::fabs(b), std::numeric_limits<double>::min()});
+  return std::fabs(a - b) / scale;
+}
+
+/// Sample quantile (linear interpolation) of an unsorted data copy.
+inline double quantile(std::vector<double> data, double q) {
+  SF_REQUIRE(!data.empty(), "quantile of empty data");
+  SF_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  std::sort(data.begin(), data.end());
+  const double pos = q * static_cast<double>(data.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, data.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+}  // namespace streamflow

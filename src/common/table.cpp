@@ -1,0 +1,68 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace streamflow {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SF_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  SF_REQUIRE(cells.size() == headers_.size(),
+             "row width does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&cell))
+    return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << "== " << title << " ==\n";
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> out;
+    out.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], out.back().size());
+    }
+    rendered.push_back(std::move(out));
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << cells[c];
+      os << (c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c], '-') << (c + 1 == headers_.size() ? "\n" : "  ");
+  }
+  for (const auto& row : rendered) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << headers_[c] << (c + 1 == headers_.size() ? "\n" : ",");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << format_cell(row[c]) << (c + 1 == row.size() ? "\n" : ",");
+  }
+}
+
+}  // namespace streamflow

@@ -1,0 +1,242 @@
+#include "core/heuristics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "core/analyzer.hpp"
+#include "maxplus/deterministic.hpp"
+
+namespace streamflow {
+
+namespace {
+
+constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+
+/// Assignment representation: stage index per processor (or kUnassigned).
+using Assignment = std::vector<std::size_t>;
+
+std::optional<Mapping> realize(const Application& application,
+                               const Platform& platform,
+                               const Assignment& assignment,
+                               std::int64_t max_paths) {
+  std::vector<std::vector<std::size_t>> teams(application.num_stages());
+  for (std::size_t p = 0; p < assignment.size(); ++p) {
+    if (assignment[p] != kUnassigned) teams[assignment[p]].push_back(p);
+  }
+  for (const auto& team : teams) {
+    if (team.empty()) return std::nullopt;
+  }
+  try {
+    Mapping mapping(application, platform, teams);
+    if (mapping.num_paths() > max_paths) return std::nullopt;
+    return mapping;
+  } catch (const InvalidArgument&) {
+    // e.g. a used link has no bandwidth on this platform
+    return std::nullopt;
+  }
+}
+
+class Evaluator {
+ public:
+  Evaluator(const Application& application, const Platform& platform,
+            const MappingSearchOptions& options)
+      : application_(application), platform_(platform), options_(options) {}
+
+  /// Objective value of an assignment, or -inf if infeasible.
+  double score(const Assignment& assignment) {
+    const auto mapping =
+        realize(application_, platform_, assignment, options_.max_paths);
+    if (!mapping) return -std::numeric_limits<double>::infinity();
+    ++evaluations_;
+    return evaluate_mapping(*mapping, options_);
+  }
+
+  std::size_t evaluations() const { return evaluations_; }
+
+ private:
+  const Application& application_;
+  const Platform& platform_;
+  const MappingSearchOptions& options_;
+  std::size_t evaluations_ = 0;
+};
+
+/// Greedy construction: heaviest stages get the fastest processors, then
+/// each remaining processor joins the team where it helps most.
+Assignment greedy_assignment(const Application& application,
+                             const Platform& platform, Evaluator& evaluator,
+                             const MappingSearchOptions& options) {
+  const std::size_t n = application.num_stages();
+  const std::size_t m = platform.num_processors();
+
+  std::vector<std::size_t> stages_by_work(n);
+  std::iota(stages_by_work.begin(), stages_by_work.end(), std::size_t{0});
+  std::sort(stages_by_work.begin(), stages_by_work.end(),
+            [&](std::size_t a, std::size_t b) {
+              return application.work(a) > application.work(b);
+            });
+  std::vector<std::size_t> procs_by_speed(m);
+  std::iota(procs_by_speed.begin(), procs_by_speed.end(), std::size_t{0});
+  std::sort(procs_by_speed.begin(), procs_by_speed.end(),
+            [&](std::size_t a, std::size_t b) {
+              return platform.speed(a) > platform.speed(b);
+            });
+
+  Assignment assignment(m, kUnassigned);
+  for (std::size_t k = 0; k < n; ++k)
+    assignment[procs_by_speed[k]] = stages_by_work[k];
+
+  // Greedily add the remaining processors where they raise the objective
+  // most; when unused processors are not allowed, place them even if no
+  // placement improves.
+  for (std::size_t k = n; k < m; ++k) {
+    const std::size_t p = procs_by_speed[k];
+    const double base = evaluator.score(assignment);
+    double best = base;
+    std::size_t best_stage = kUnassigned;
+    for (std::size_t i = 0; i < n; ++i) {
+      assignment[p] = i;
+      const double candidate = evaluator.score(assignment);
+      if (candidate > best) {
+        best = candidate;
+        best_stage = i;
+      }
+      assignment[p] = kUnassigned;
+    }
+    if (best_stage == kUnassigned && !options.allow_unused_processors) {
+      // Fall back to the least-bad placement.
+      double least_bad = -std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        assignment[p] = i;
+        const double candidate = evaluator.score(assignment);
+        if (candidate > least_bad) {
+          least_bad = candidate;
+          best_stage = i;
+        }
+        assignment[p] = kUnassigned;
+      }
+    }
+    assignment[p] = best_stage;
+  }
+  return assignment;
+}
+
+Assignment random_assignment(const Application& application,
+                             const Platform& platform, Prng& prng) {
+  const std::size_t n = application.num_stages();
+  const std::size_t m = platform.num_processors();
+  Assignment assignment(m, kUnassigned);
+  // One random processor per stage first (feasibility), then the rest at
+  // random stages (possibly unassigned).
+  std::vector<std::size_t> procs(m);
+  std::iota(procs.begin(), procs.end(), std::size_t{0});
+  for (std::size_t i = m; i > 1; --i) {
+    std::swap(procs[i - 1], procs[prng.uniform_index(i)]);
+  }
+  for (std::size_t i = 0; i < n; ++i) assignment[procs[i]] = i;
+  for (std::size_t k = n; k < m; ++k) {
+    const std::size_t bucket = prng.uniform_index(n + 1);
+    assignment[procs[k]] = bucket == n ? kUnassigned : bucket;
+  }
+  return assignment;
+}
+
+/// First-improvement local search over migrate and swap moves.
+double local_search(Assignment& assignment, Evaluator& evaluator,
+                    const MappingSearchOptions& options, std::size_t n) {
+  double current = evaluator.score(assignment);
+  for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    bool improved = false;
+    // Migration moves: processor p -> stage i (or unassigned).
+    for (std::size_t p = 0; p < assignment.size(); ++p) {
+      const std::size_t original = assignment[p];
+      const std::size_t targets = n + (options.allow_unused_processors ? 1 : 0);
+      for (std::size_t i = 0; i < targets; ++i) {
+        const std::size_t target = i == n ? kUnassigned : i;
+        if (target == original) continue;
+        assignment[p] = target;
+        const double candidate = evaluator.score(assignment);
+        if (candidate > current * (1.0 + 1e-12)) {
+          current = candidate;
+          improved = true;
+          break;  // keep the move
+        }
+        assignment[p] = original;
+      }
+    }
+    // Swap moves: exchange the stages of p and q.
+    for (std::size_t p = 0; p < assignment.size(); ++p) {
+      for (std::size_t q = p + 1; q < assignment.size(); ++q) {
+        if (assignment[p] == assignment[q]) continue;
+        std::swap(assignment[p], assignment[q]);
+        const double candidate = evaluator.score(assignment);
+        if (candidate > current * (1.0 + 1e-12)) {
+          current = candidate;
+          improved = true;
+        } else {
+          std::swap(assignment[p], assignment[q]);
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return current;
+}
+
+}  // namespace
+
+double evaluate_mapping(const Mapping& mapping,
+                        const MappingSearchOptions& options) {
+  if (options.objective == MappingObjective::kDeterministic) {
+    TpnBuildOptions build;
+    build.max_rows = options.max_paths;
+    return deterministic_throughput(mapping, options.model, build).throughput;
+  }
+  SF_REQUIRE(options.model == ExecutionModel::kOverlap,
+             "the exponential objective uses the column method, which "
+             "applies to the Overlap model only");
+  return exponential_throughput(mapping, options.model).throughput;
+}
+
+MappingSearchResult optimize_mapping(const Application& application,
+                                     const Platform& platform,
+                                     const MappingSearchOptions& options) {
+  SF_REQUIRE(platform.num_processors() >= application.num_stages(),
+             "need at least one processor per stage");
+  if (options.objective == MappingObjective::kExponential) {
+    SF_REQUIRE(options.model == ExecutionModel::kOverlap,
+               "the exponential objective uses the column method, which "
+               "applies to the Overlap model only");
+  }
+  Evaluator evaluator(application, platform, options);
+  Prng prng(options.seed);
+
+  Assignment best_assignment =
+      greedy_assignment(application, platform, evaluator, options);
+  const double greedy_score = evaluator.score(best_assignment);
+  double best_score = local_search(best_assignment, evaluator, options,
+                                   application.num_stages());
+
+  for (std::size_t restart = 1; restart < options.restarts; ++restart) {
+    Assignment assignment = random_assignment(application, platform, prng);
+    if (evaluator.score(assignment) ==
+        -std::numeric_limits<double>::infinity())
+      continue;  // random draw infeasible on this platform
+    const double score =
+        local_search(assignment, evaluator, options, application.num_stages());
+    if (score > best_score) {
+      best_score = score;
+      best_assignment = std::move(assignment);
+    }
+  }
+
+  auto mapping =
+      realize(application, platform, best_assignment, options.max_paths);
+  SF_ASSERT(mapping.has_value(), "search ended on an infeasible assignment");
+  return MappingSearchResult{std::move(*mapping), best_score, greedy_score,
+                             evaluator.evaluations()};
+}
+
+}  // namespace streamflow

@@ -1,0 +1,65 @@
+// Mapping-search heuristics — the paper's stated next step ("we will devote
+// future work to designing polynomial time heuristics for the NP-complete
+// [mapping] problem... Thanks to the methodology introduced in this paper,
+// we will be able to compute the throughput of heuristics and compare
+// them"). This module does exactly that: greedy construction plus
+// steepest-ascent local search, scored by the throughput evaluators of this
+// library.
+//
+// The search explores one-to-many mappings (each processor serves at most
+// one stage; every stage gets a non-empty team) with two move kinds:
+// migrating a processor to another team and swapping processors between
+// teams. Mappings whose lcm of replication factors exceeds `max_paths` are
+// rejected (their analysis cost would explode — and in practice such
+// mappings are also operationally fragile).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "model/mapping.hpp"
+
+namespace streamflow {
+
+/// What the search maximizes.
+enum class MappingObjective {
+  /// Deterministic throughput (Section 4 analysis). Valid for both models.
+  kDeterministic,
+  /// Exponential-case throughput (Theorem 3/4 column method; Overlap only).
+  kExponential,
+};
+
+struct MappingSearchOptions {
+  ExecutionModel model = ExecutionModel::kOverlap;
+  MappingObjective objective = MappingObjective::kExponential;
+  /// Random restarts of the local search (the first start is greedy).
+  std::size_t restarts = 4;
+  /// Local-search sweeps per start before giving up on improvement.
+  std::size_t max_sweeps = 50;
+  /// Reject mappings with lcm(R_1..R_N) above this.
+  std::int64_t max_paths = 256;
+  std::uint64_t seed = 1;
+  /// Leave processors unused when that helps (a slow straggler can reduce
+  /// a replicated stage's paced throughput). If false, every processor is
+  /// assigned somewhere.
+  bool allow_unused_processors = true;
+};
+
+struct MappingSearchResult {
+  Mapping mapping;                ///< the best mapping found
+  double throughput = 0.0;        ///< its objective value
+  double greedy_throughput = 0.0; ///< objective after greedy construction
+  std::size_t evaluations = 0;    ///< total throughput evaluations
+};
+
+/// Runs the search. Requires num_processors >= num_stages.
+/// Throws InvalidArgument for kExponential with the Strict model.
+MappingSearchResult optimize_mapping(const Application& application,
+                                     const Platform& platform,
+                                     const MappingSearchOptions& options = {});
+
+/// Scores one mapping under the chosen objective (exposed for comparisons).
+double evaluate_mapping(const Mapping& mapping,
+                        const MappingSearchOptions& options);
+
+}  // namespace streamflow

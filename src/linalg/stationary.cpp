@@ -1,0 +1,90 @@
+#include "linalg/stationary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace streamflow {
+
+Vector stationary_dense(const DenseMatrix& q) {
+  SF_REQUIRE(q.rows() == q.cols(), "generator must be square");
+  const std::size_t n = q.rows();
+  SF_REQUIRE(n > 0, "generator must be non-empty");
+  // Solve A pi = b with A = Q^T whose last row is replaced by the
+  // normalization constraint sum(pi) = 1.
+  DenseMatrix a = q.transpose();
+  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+  Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+  Vector pi = solve_dense(std::move(a), b);
+  // Clamp tiny negative round-off and renormalize.
+  double sum = 0.0;
+  for (double& p : pi) {
+    if (p < 0.0 && p > -1e-9) p = 0.0;
+    if (p < 0.0) {
+      throw NumericalError(
+          "stationary_dense produced a significantly negative probability; "
+          "the chain may have multiple recurrent classes");
+    }
+    sum += p;
+  }
+  SF_ASSERT(sum > 0.0, "stationary distribution sums to zero");
+  for (double& p : pi) p /= sum;
+  return pi;
+}
+
+Vector stationary_uniformized(const CsrMatrix& q_offdiag,
+                              const StationaryOptions& options) {
+  SF_REQUIRE(q_offdiag.rows() == q_offdiag.cols(), "generator must be square");
+  const std::size_t n = q_offdiag.rows();
+  SF_REQUIRE(n > 0, "generator must be non-empty");
+
+  // Exit rates = row sums of off-diagonals.
+  std::vector<double> exit(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = q_offdiag.row_begin(r); k < q_offdiag.row_end(r); ++k)
+      acc += q_offdiag.values()[k];
+    exit[r] = acc;
+  }
+  const double lambda =
+      1.001 * (*std::max_element(exit.begin(), exit.end())) + 1e-12;
+
+  // pi <- pi P, P = I + Q / lambda; i.e.
+  // pi'[j] = pi[j] (1 - exit[j]/lambda) + sum_i pi[i] q[i][j] / lambda.
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    for (std::size_t j = 0; j < n; ++j)
+      next[j] = pi[j] * (1.0 - exit[j] / lambda);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double w = pi[r] / lambda;
+      if (w == 0.0) continue;
+      for (std::size_t k = q_offdiag.row_begin(r); k < q_offdiag.row_end(r);
+           ++k)
+        next[q_offdiag.col_index()[k]] += w * q_offdiag.values()[k];
+    }
+    double diff = 0.0;
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      diff += std::fabs(next[j] - pi[j]);
+      sum += next[j];
+    }
+    // Renormalize to counter drift.
+    for (std::size_t j = 0; j < n; ++j) next[j] /= sum;
+    pi.swap(next);
+    if (diff < options.tolerance) return pi;
+  }
+  throw NumericalError("stationary_uniformized did not converge within " +
+                       std::to_string(options.max_iterations) + " iterations");
+}
+
+double stationary_residual(const DenseMatrix& q, const Vector& pi) {
+  const Vector r = q.multiply_transpose(pi);
+  double acc = 0.0;
+  for (double v : r) acc += std::fabs(v);
+  return acc;
+}
+
+}  // namespace streamflow

@@ -1,0 +1,41 @@
+// Stationary distributions of finite-state CTMCs: pi Q = 0, sum(pi) = 1.
+//
+// Two back-ends:
+//  * dense direct solve (LU) — exact up to FP, used below a size threshold;
+//  * uniformization + power iteration on the embedded DTMC — used for the
+//    large reachability graphs produced by Theorem 2's general method.
+// The caller (markov/ctmc) picks the back-end; both are exposed for testing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "linalg/sparse.hpp"
+
+namespace streamflow {
+
+struct StationaryOptions {
+  /// Convergence threshold on the L1 change of pi between sweeps.
+  double tolerance = 1e-12;
+  /// Iteration cap for the power method.
+  std::size_t max_iterations = 2'000'000;
+};
+
+/// Direct solve for the stationary distribution of generator Q (dense).
+/// Q must be a proper generator: non-negative off-diagonals, zero row sums.
+/// Assumes a single recurrent class (true for our reachability CTMCs, which
+/// are strongly connected by liveness of the event graph).
+Vector stationary_dense(const DenseMatrix& q);
+
+/// Power-iteration solve on the uniformized chain P = I + Q / Lambda with
+/// Lambda slightly above the largest exit rate. `q` holds the OFF-diagonal
+/// rates as a CSR matrix (rows = source states); diagonals are derived.
+/// Throws NumericalError if the iteration does not converge.
+Vector stationary_uniformized(const CsrMatrix& q_offdiag,
+                              const StationaryOptions& options = {});
+
+/// Residual || pi Q ||_1 for verification (dense Q).
+double stationary_residual(const DenseMatrix& q, const Vector& pi);
+
+}  // namespace streamflow

@@ -1,0 +1,110 @@
+#include "markov/reachability.hpp"
+
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+
+namespace streamflow {
+
+namespace {
+
+/// Compact marking: one token count per place.
+using Marking = std::vector<std::uint8_t>;
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const {
+    // FNV-1a over the raw bytes.
+    std::size_t h = 1469598103934665603ULL;
+    for (std::uint8_t b : m) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+TpnMarkovChain explore_markings(const TimedEventGraph& graph,
+                                const std::vector<double>& rates,
+                                const ReachabilityOptions& options) {
+  SF_REQUIRE(rates.size() == graph.num_transitions(),
+             "need one rate per transition");
+  for (double r : rates)
+    SF_REQUIRE(r > 0.0, "all firing rates must be positive");
+  SF_REQUIRE(options.place_capacity >= 1, "place capacity must be >= 1");
+  SF_REQUIRE(options.place_capacity <= 255,
+             "place capacity must fit in a byte");
+
+  const std::size_t num_places = graph.num_places();
+  Marking initial(num_places);
+  for (std::size_t pid = 0; pid < num_places; ++pid) {
+    initial[pid] = static_cast<std::uint8_t>(graph.place(pid).initial_tokens);
+  }
+
+  TpnMarkovChain chain;
+  std::unordered_map<Marking, std::size_t, MarkingHash> index;
+  std::deque<Marking> frontier;
+  index.emplace(initial, 0);
+  frontier.push_back(std::move(initial));
+  chain.num_states = 1;
+
+  const auto capacity = static_cast<std::uint8_t>(options.place_capacity);
+
+  std::size_t state_cursor = 0;
+  while (!frontier.empty()) {
+    const Marking current = std::move(frontier.front());
+    frontier.pop_front();
+    const std::size_t current_id = state_cursor++;
+
+    for (std::size_t t = 0; t < graph.num_transitions(); ++t) {
+      // Enabled: every input place holds a token...
+      bool enabled = true;
+      for (std::size_t pid : graph.input_places(t)) {
+        if (current[pid] == 0) {
+          enabled = false;
+          break;
+        }
+      }
+      if (!enabled) continue;
+      // ...and no output flow place would exceed its capacity. Self-loop
+      // places (input and output of the same transition) net out to zero
+      // and never block.
+      for (std::size_t pid : graph.output_places(t)) {
+        const Place& p = graph.place(pid);
+        if (p.from == p.to) continue;
+        if (current[pid] >= capacity) {
+          if (p.kind == PlaceKind::kFlow) {
+            enabled = false;
+            chain.capacity_clipped = true;
+            break;
+          }
+          throw CapacityExceeded(
+              "resource place exceeded capacity: the event graph violates "
+              "the expected 1-safety of serialization chains");
+        }
+      }
+      if (!enabled) continue;
+
+      Marking next = current;
+      for (std::size_t pid : graph.input_places(t)) --next[pid];
+      for (std::size_t pid : graph.output_places(t)) ++next[pid];
+
+      auto [it, inserted] = index.emplace(std::move(next), chain.num_states);
+      if (inserted) {
+        if (chain.num_states >= options.max_states) {
+          throw CapacityExceeded(
+              "marking exploration exceeded max_states=" +
+              std::to_string(options.max_states) +
+              "; use the column decomposition or raise the cap");
+        }
+        ++chain.num_states;
+        frontier.push_back(it->first);
+      }
+      chain.edges.push_back(CtmcEdge{current_id, it->second, t});
+    }
+  }
+  return chain;
+}
+
+}  // namespace streamflow

@@ -1,0 +1,54 @@
+// Reachability analysis of a timed event graph under exponential firing
+// (race semantics): markings are states, every enabled transition fires at
+// its exponential rate, yielding a continuous-time Markov chain (the
+// transformation step of Theorem 2).
+//
+// Boundedness: the Strict TPN is 1-safe (each processor's round-robin chain
+// gates its whole receive/compute/send sequence), so exploration is exact.
+// The Overlap TPN has unbounded data-flow places (a fast upstream may run
+// ahead); `place_capacity` imposes finite buffers: a transition is disabled
+// while one of its output flow places is full. The capped chain
+// under-estimates the true throughput and converges to it as the capacity
+// grows (the exact Overlap analysis is the column method of Theorem 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tpn/graph.hpp"
+
+namespace streamflow {
+
+struct ReachabilityOptions {
+  /// Hard cap on the number of explored markings.
+  std::size_t max_states = 250'000;
+  /// Token capacity of data-flow places (resource places are 1-bounded by
+  /// construction).
+  int place_capacity = 8;
+};
+
+/// One CTMC edge: in marking `from`, transition `transition` fires (rate =
+/// rates[transition]) and leads to marking `to`.
+struct CtmcEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::size_t transition = 0;
+};
+
+/// The reachability CTMC of a TEG.
+struct TpnMarkovChain {
+  std::size_t num_states = 0;
+  std::vector<CtmcEdge> edges;
+  /// True if some marking hit the flow-place capacity (Overlap nets only):
+  /// the chain then models finite buffers rather than the unbounded net.
+  bool capacity_clipped = false;
+};
+
+/// Explores all markings reachable from the initial marking.
+/// `rates[t]` is the exponential firing rate of transition t (all > 0).
+/// Throws CapacityExceeded if max_states is hit.
+TpnMarkovChain explore_markings(const TimedEventGraph& graph,
+                                const std::vector<double>& rates,
+                                const ReachabilityOptions& options = {});
+
+}  // namespace streamflow

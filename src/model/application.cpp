@@ -1,0 +1,37 @@
+#include "model/application.hpp"
+
+#include <sstream>
+
+namespace streamflow {
+
+Application::Application(std::vector<double> stage_work,
+                         std::vector<double> file_sizes)
+    : stage_work_(std::move(stage_work)), file_sizes_(std::move(file_sizes)) {
+  SF_REQUIRE(!stage_work_.empty(), "application needs at least one stage");
+  SF_REQUIRE(file_sizes_.size() + 1 == stage_work_.size(),
+             "need exactly one file between each pair of consecutive stages");
+  for (double w : stage_work_)
+    SF_REQUIRE(w > 0.0, "stage work must be positive");
+  for (double d : file_sizes_)
+    SF_REQUIRE(d >= 0.0, "file size must be non-negative");
+}
+
+Application Application::uniform(std::size_t num_stages, double work,
+                                 double file_size) {
+  SF_REQUIRE(num_stages >= 1, "application needs at least one stage");
+  return Application(std::vector<double>(num_stages, work),
+                     std::vector<double>(num_stages - 1, file_size));
+}
+
+std::string Application::to_string() const {
+  std::ostringstream os;
+  os << "Application[" << num_stages() << " stages:";
+  for (std::size_t i = 0; i < num_stages(); ++i) {
+    os << " T" << (i + 1) << "(w=" << stage_work_[i] << ")";
+    if (i + 1 < num_stages()) os << " -F(" << file_sizes_[i] << ")->";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace streamflow

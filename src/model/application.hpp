@@ -1,0 +1,49 @@
+// The streaming-application model of §2.1: a linear chain of N stages
+// T_1..T_N. Stage T_i performs w_i flops, consumes file F_{i-1} and produces
+// file F_i of delta_i bytes; F_1..F_{N-1} are the inter-stage transfers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace streamflow {
+
+class Application {
+ public:
+  /// `stage_work[i]` is w_{i+1} in flops; `file_sizes[i]` is delta_{i+1} in
+  /// bytes, the file produced by stage i+1 and consumed by stage i+2.
+  /// Requires file_sizes.size() == stage_work.size() - 1.
+  Application(std::vector<double> stage_work, std::vector<double> file_sizes);
+
+  /// A chain of n stages with unit work and unit files (handy in tests).
+  static Application uniform(std::size_t num_stages, double work = 1.0,
+                             double file_size = 1.0);
+
+  std::size_t num_stages() const { return stage_work_.size(); }
+
+  /// w_i for the 0-based stage index.
+  double work(std::size_t stage) const {
+    SF_REQUIRE(stage < stage_work_.size(), "stage index out of range");
+    return stage_work_[stage];
+  }
+
+  /// delta for the file between `stage` and `stage + 1` (0-based).
+  double file_size(std::size_t stage) const {
+    SF_REQUIRE(stage + 1 < stage_work_.size(), "file index out of range");
+    return file_sizes_[stage];
+  }
+
+  const std::vector<double>& stage_works() const { return stage_work_; }
+  const std::vector<double>& file_sizes() const { return file_sizes_; }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<double> stage_work_;
+  std::vector<double> file_sizes_;
+};
+
+}  // namespace streamflow

@@ -1,0 +1,140 @@
+// One-to-many mappings with replication (§2.2) and their derived structure:
+// teams, replication factors R_i, round-robin data paths (Proposition 1),
+// per-resource deterministic times, and the cycle-time lower bounds Mct of
+// §2.3 for both execution models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/application.hpp"
+#include "model/platform.hpp"
+
+namespace streamflow {
+
+/// The two execution models of §2.1.
+enum class ExecutionModel {
+  /// A processor can receive, compute, and send simultaneously
+  /// (multithreaded, full-duplex one-port per direction).
+  kOverlap,
+  /// Receive, compute, and send are mutually exclusive (single-threaded,
+  /// one-port).
+  kStrict,
+};
+
+std::string to_string(ExecutionModel model);
+
+/// Per-processor cycle-time decomposition of §2.3, normalized per global
+/// data set (a processor in a team of size R touches one data set in R).
+struct CycleTime {
+  double input = 0.0;    ///< C_in(p): receive-port busy time per data set.
+  double compute = 0.0;  ///< C_comp(p) = w_i / (R_i * s_p): p's compute-unit
+                         ///< busy time per global data set. (§2.2's
+                         ///< slowest-member pacing enters max_cycle_time()
+                         ///< separately — see mapping.cpp.)
+  double output = 0.0;   ///< C_out(p): send-port busy time per data set.
+
+  double exec(ExecutionModel model) const;
+};
+
+/// A validated one-to-many mapping of an Application onto a Platform.
+///
+/// Invariants established at construction:
+///  * every stage has a non-empty team;
+///  * no processor serves more than one stage;
+///  * every link used by consecutive teams has a positive bandwidth;
+///  * the number of round-robin paths m = lcm(R_1..R_N) fits in int64.
+class Mapping {
+ public:
+  Mapping(Application application, Platform platform,
+          std::vector<std::vector<std::size_t>> teams);
+
+  const Application& application() const { return application_; }
+  const Platform& platform() const { return platform_; }
+
+  std::size_t num_stages() const { return application_.num_stages(); }
+  std::size_t num_processors() const { return platform_.num_processors(); }
+
+  /// Team_i: the processors executing stage i (0-based), in round-robin
+  /// order.
+  const std::vector<std::size_t>& team(std::size_t stage) const {
+    SF_REQUIRE(stage < teams_.size(), "stage index out of range");
+    return teams_[stage];
+  }
+
+  /// Replication factor R_i of stage i.
+  std::size_t replication(std::size_t stage) const {
+    return team(stage).size();
+  }
+
+  /// All replication factors R_1..R_N.
+  std::vector<std::size_t> replications() const;
+
+  /// Stage served by processor p, or npos if p is unused.
+  static constexpr std::size_t kUnused = static_cast<std::size_t>(-1);
+  std::size_t stage_of(std::size_t p) const {
+    SF_REQUIRE(p < stage_of_.size(), "processor index out of range");
+    return stage_of_[p];
+  }
+
+  /// Position of processor p inside its team (its round-robin offset).
+  std::size_t team_index_of(std::size_t p) const {
+    SF_REQUIRE(p < team_index_of_.size(), "processor index out of range");
+    SF_REQUIRE(stage_of_[p] != kUnused, "processor is not mapped");
+    return team_index_of_[p];
+  }
+
+  /// Number of distinct round-robin paths m = lcm(R_1..R_N) (Proposition 1).
+  std::int64_t num_paths() const { return num_paths_; }
+
+  /// The j-th path: processor executing each stage for data sets
+  /// {j, j+m, j+2m, ...}; path(j)[i] = Team_i[j mod R_i].
+  std::vector<std::size_t> path(std::int64_t j) const;
+
+  // ---- Deterministic timing (means in the probabilistic setting) ----------
+
+  /// c_p = w_i / s_p: computation time of p's stage on p.
+  double comp_time(std::size_t p) const;
+
+  /// d_{p,q} = delta_i / b_{p,q} for p in Team_i, q in Team_{i+1}.
+  double comm_time(std::size_t sender, std::size_t receiver) const;
+
+  // ---- Cycle-time lower bounds (§2.3) --------------------------------------
+
+  /// The C_in/C_comp/C_out decomposition for processor p.
+  CycleTime cycle_time(std::size_t p) const;
+
+  /// Which Mct convention to use (§2.3).
+  enum class MctConvention {
+    /// Provably valid lower bound on the in-order period: per-processor
+    /// utilization terms plus the slowest-member pacing term for every
+    /// stage that has a downstream collector.
+    kValidBound,
+    /// The paper's literal definition: C_comp(p) = w_i / (R_i * s_slow)
+    /// for EVERY stage, including the last. Slightly larger than
+    /// kValidBound (and not a valid bound for a replicated heterogeneous
+    /// last stage); used to reproduce Table 1 verbatim.
+    kPaperSlowestMember,
+  };
+
+  /// Maximum cycle time Mct = max_p C_exec(p): a lower bound on the period.
+  double max_cycle_time(ExecutionModel model,
+                        MctConvention convention =
+                            MctConvention::kValidBound) const;
+
+  /// 1 / Mct: an upper bound on the throughput ("critical resource" rate).
+  double critical_resource_throughput(ExecutionModel model) const;
+
+  std::string to_string() const;
+
+ private:
+  Application application_;
+  Platform platform_;
+  std::vector<std::vector<std::size_t>> teams_;
+  std::vector<std::size_t> stage_of_;
+  std::vector<std::size_t> team_index_of_;
+  std::int64_t num_paths_ = 1;
+};
+
+}  // namespace streamflow

@@ -1,0 +1,37 @@
+// Random instance generation following the Section 7 experimental protocol
+// (Table 1): applications with n stages, platforms with M processors, all
+// processor speeds / link bandwidths drawn so that computation and
+// communication times fall uniformly in configured ranges, and random
+// replication (every stage gets at least one processor).
+#pragma once
+
+#include <cstdint>
+
+#include "common/prng.hpp"
+#include "model/mapping.hpp"
+
+namespace streamflow {
+
+struct RandomInstanceOptions {
+  std::size_t num_stages = 10;
+  std::size_t num_processors = 20;
+  /// Computation times drawn uniformly from [comp_min, comp_max] (seconds).
+  double comp_min = 5.0;
+  double comp_max = 15.0;
+  /// Communication times drawn uniformly from [comm_min, comm_max] (seconds).
+  double comm_min = 5.0;
+  double comm_max = 15.0;
+  /// If true the network is homogeneous: one communication time per
+  /// inter-stage file (shared by all links of that column) instead of one
+  /// per link.
+  bool homogeneous_network = false;
+  /// Cap on the lcm of the replication factors (TPN row count); the
+  /// generator re-draws team sizes until the cap holds.
+  std::int64_t max_paths = 4096;
+};
+
+/// Generates a random replicated mapping. All processors are used: the M
+/// processors are partitioned into n non-empty teams uniformly at random.
+Mapping random_instance(const RandomInstanceOptions& options, Prng& prng);
+
+}  // namespace streamflow

@@ -1,0 +1,152 @@
+#include "model/serialization.hpp"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace streamflow {
+
+void save_instance(std::ostream& os, const Mapping& mapping) {
+  const Application& app = mapping.application();
+  const Platform& platform = mapping.platform();
+  os.precision(17);
+  os << "streamflow-instance v1\n";
+  os << "stages " << app.num_stages() << "\n";
+  os << "works";
+  for (double w : app.stage_works()) os << " " << w;
+  os << "\nfiles";
+  for (double d : app.file_sizes()) os << " " << d;
+  os << "\nprocessors " << platform.num_processors() << "\n";
+  os << "speeds";
+  for (std::size_t p = 0; p < platform.num_processors(); ++p)
+    os << " " << platform.speed(p);
+  os << "\n";
+  for (std::size_t p = 0; p < platform.num_processors(); ++p) {
+    for (std::size_t q = p + 1; q < platform.num_processors(); ++q) {
+      if (platform.bandwidth(p, q) > 0.0)
+        os << "link " << p << " " << q << " " << platform.bandwidth(p, q)
+           << "\n";
+    }
+  }
+  for (std::size_t i = 0; i < app.num_stages(); ++i) {
+    os << "team " << i;
+    for (std::size_t p : mapping.team(i)) os << " " << p;
+    os << "\n";
+  }
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw InvalidArgument("instance parse error at line " +
+                        std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+Mapping load_instance(std::istream& is) {
+  std::string line;
+  int line_number = 0;
+  auto next_line = [&]() -> std::optional<std::string> {
+    while (std::getline(is, line)) {
+      ++line_number;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      // Skip blank lines.
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      return line;
+    }
+    return std::nullopt;
+  };
+
+  auto header = next_line();
+  if (!header || header->rfind("streamflow-instance", 0) != 0)
+    fail(line_number, "missing 'streamflow-instance v1' header");
+
+  std::optional<std::size_t> num_stages, num_processors;
+  std::vector<double> works, files, speeds;
+  std::vector<std::tuple<std::size_t, std::size_t, double>> links;
+  std::map<std::size_t, std::vector<std::size_t>> teams;
+
+  while (auto maybe = next_line()) {
+    std::istringstream ss(*maybe);
+    std::string keyword;
+    ss >> keyword;
+    if (keyword == "stages") {
+      std::size_t n = 0;
+      if (!(ss >> n) || n == 0) fail(line_number, "bad stage count");
+      num_stages = n;
+    } else if (keyword == "works") {
+      double w;
+      while (ss >> w) works.push_back(w);
+    } else if (keyword == "files") {
+      double d;
+      while (ss >> d) files.push_back(d);
+    } else if (keyword == "processors") {
+      std::size_t m = 0;
+      if (!(ss >> m) || m == 0) fail(line_number, "bad processor count");
+      num_processors = m;
+    } else if (keyword == "speeds") {
+      double s;
+      while (ss >> s) speeds.push_back(s);
+    } else if (keyword == "link") {
+      std::size_t p, q;
+      double b;
+      if (!(ss >> p >> q >> b)) fail(line_number, "bad link line");
+      links.emplace_back(p, q, b);
+    } else if (keyword == "team") {
+      std::size_t stage;
+      if (!(ss >> stage)) fail(line_number, "bad team line");
+      std::vector<std::size_t> members;
+      std::size_t p;
+      while (ss >> p) members.push_back(p);
+      if (members.empty()) fail(line_number, "empty team");
+      if (!teams.emplace(stage, std::move(members)).second)
+        fail(line_number, "duplicate team for stage " + std::to_string(stage));
+    } else {
+      fail(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (!num_stages) fail(line_number, "missing 'stages'");
+  if (!num_processors) fail(line_number, "missing 'processors'");
+  if (works.size() != *num_stages)
+    fail(line_number, "expected " + std::to_string(*num_stages) + " works");
+  if (files.size() + 1 != *num_stages)
+    fail(line_number, "expected " + std::to_string(*num_stages - 1) + " files");
+  if (speeds.size() != *num_processors)
+    fail(line_number,
+         "expected " + std::to_string(*num_processors) + " speeds");
+  if (teams.size() != *num_stages)
+    fail(line_number, "expected one team per stage");
+
+  try {
+    Application app(works, files);
+    Platform platform(speeds);
+    for (const auto& [p, q, b] : links) platform.set_bandwidth(p, q, b);
+    std::vector<std::vector<std::size_t>> team_list(*num_stages);
+    for (auto& [stage, members] : teams) {
+      if (stage >= *num_stages)
+        fail(line_number, "team stage index out of range");
+      team_list[stage] = std::move(members);
+    }
+    return Mapping(std::move(app), std::move(platform), std::move(team_list));
+  } catch (const InvalidArgument& error) {
+    throw InvalidArgument(std::string("instance semantic error: ") +
+                          error.what());
+  }
+}
+
+std::string instance_to_string(const Mapping& mapping) {
+  std::ostringstream os;
+  save_instance(os, mapping);
+  return os.str();
+}
+
+Mapping instance_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_instance(is);
+}
+
+}  // namespace streamflow

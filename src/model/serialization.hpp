@@ -1,0 +1,33 @@
+// Plain-text serialization of instances (application + platform + mapping),
+// so experiments are reproducible and instances can be exchanged / archived.
+//
+// Format (line oriented, '#' comments allowed):
+//   streamflow-instance v1
+//   stages <N>
+//   works  w_1 .. w_N
+//   files  d_1 .. d_{N-1}
+//   processors <M>
+//   speeds s_1 .. s_M
+//   link <p> <q> <bandwidth>          (one per defined link)
+//   team <stage> <p_1> .. <p_k>       (one per stage, round-robin order)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/mapping.hpp"
+
+namespace streamflow {
+
+/// Writes a complete instance.
+void save_instance(std::ostream& os, const Mapping& mapping);
+
+/// Parses an instance; throws InvalidArgument with a line diagnostic on any
+/// malformed input.
+Mapping load_instance(std::istream& is);
+
+/// Convenience round-trip through strings.
+std::string instance_to_string(const Mapping& mapping);
+Mapping instance_from_string(const std::string& text);
+
+}  // namespace streamflow

@@ -1,0 +1,154 @@
+#include "tpn/builder.hpp"
+
+#include <vector>
+
+namespace streamflow {
+
+namespace {
+
+/// Adds the cyclic round-robin chain over `rows` (ascending TPN row indices
+/// where one resource is used in one column): a place between consecutive
+/// occurrences and a closing place carrying the initial token, so the
+/// resource serves its occurrences in round-robin order, one at a time
+/// (§3.2 items 2-4). `column_of` maps a row to the transition id involved.
+template <typename FromId, typename ToId>
+void add_cyclic_chain(TimedEventGraph& graph,
+                      const std::vector<std::int64_t>& rows, FromId&& from_id,
+                      ToId&& to_id) {
+  const std::size_t k = rows.size();
+  SF_ASSERT(k >= 1, "resource chain with no occurrences");
+  for (std::size_t l = 0; l < k; ++l) {
+    const std::size_t next = (l + 1) % k;
+    graph.add_place(Place{
+        .from = from_id(rows[l]),
+        .to = to_id(rows[next]),
+        .kind = PlaceKind::kResource,
+        // "a token is put in every place going from T^{j_k} to T^{j_1}":
+        // only the wrap-around place starts marked.
+        .initial_tokens = next == 0 ? 1 : 0,
+    });
+  }
+}
+
+/// Rows (ascending) in which team member `member_index` of a team of size
+/// `team_size` appears, out of `m` rows total.
+std::vector<std::int64_t> occurrence_rows(std::int64_t m,
+                                          std::size_t team_size,
+                                          std::size_t member_index) {
+  std::vector<std::int64_t> rows;
+  rows.reserve(static_cast<std::size_t>(m) / team_size);
+  for (std::int64_t j = static_cast<std::int64_t>(member_index); j < m;
+       j += static_cast<std::int64_t>(team_size)) {
+    rows.push_back(j);
+  }
+  return rows;
+}
+
+}  // namespace
+
+TimedEventGraph build_tpn(const Mapping& mapping, ExecutionModel model,
+                          const TpnBuildOptions& options) {
+  const std::int64_t m = mapping.num_paths();
+  if (m > options.max_rows) {
+    throw CapacityExceeded(
+        "TPN would have m=" + std::to_string(m) +
+        " rows (lcm of replication factors), above the configured cap of " +
+        std::to_string(options.max_rows));
+  }
+  const std::size_t n = mapping.num_stages();
+  const std::size_t num_columns = 2 * n - 1;
+  TimedEventGraph graph(m, num_columns);
+
+  // --- Transitions: row-major grid, id = row * num_columns + column. ------
+  for (std::int64_t j = 0; j < m; ++j) {
+    const std::vector<std::size_t> path = mapping.path(j);
+    for (std::size_t i = 0; i < n; ++i) {
+      graph.add_transition(Transition{
+          .kind = TransitionKind::kCompute,
+          .row = j,
+          .column = 2 * i,
+          .stage = i,
+          .proc = path[i],
+          .proc2 = path[i],
+          .duration = mapping.comp_time(path[i]),
+      });
+      if (i + 1 < n) {
+        graph.add_transition(Transition{
+            .kind = TransitionKind::kComm,
+            .row = j,
+            .column = 2 * i + 1,
+            .stage = i,
+            .proc = path[i],
+            .proc2 = path[i + 1],
+            .duration = mapping.comm_time(path[i], path[i + 1]),
+        });
+      }
+    }
+  }
+  auto id_of = [num_columns](std::int64_t row, std::size_t column) {
+    return static_cast<std::size_t>(row) * num_columns + column;
+  };
+
+  // --- Data-flow places along each row (§3.2 item 1, same for Strict). ----
+  for (std::int64_t j = 0; j < m; ++j) {
+    for (std::size_t c = 0; c + 1 < num_columns; ++c) {
+      graph.add_place(Place{
+          .from = id_of(j, c),
+          .to = id_of(j, c + 1),
+          .kind = PlaceKind::kFlow,
+          .initial_tokens = 0,
+      });
+    }
+  }
+
+  // --- Resource round-robin places. ----------------------------------------
+  if (model == ExecutionModel::kOverlap) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& team = mapping.team(i);
+      for (std::size_t a = 0; a < team.size(); ++a) {
+        const std::vector<std::int64_t> rows =
+            occurrence_rows(m, team.size(), a);
+        // Item 2: the compute unit of the processor.
+        add_cyclic_chain(
+            graph, rows, [&](std::int64_t r) { return id_of(r, 2 * i); },
+            [&](std::int64_t r) { return id_of(r, 2 * i); });
+        // Item 3: its output port (unless it computes the last stage).
+        if (i + 1 < n) {
+          add_cyclic_chain(
+              graph, rows, [&](std::int64_t r) { return id_of(r, 2 * i + 1); },
+              [&](std::int64_t r) { return id_of(r, 2 * i + 1); });
+        }
+        // Item 4: its input port (unless it computes the first stage).
+        if (i > 0) {
+          add_cyclic_chain(
+              graph, rows, [&](std::int64_t r) { return id_of(r, 2 * i - 1); },
+              [&](std::int64_t r) { return id_of(r, 2 * i - 1); });
+        }
+      }
+    }
+  } else {
+    // Strict (§3.3): one chain per processor, from the END of its current
+    // receive -> compute -> send sequence to the START of the next one.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& team = mapping.team(i);
+      // Last transition of an occurrence: the send (column 2i+1), or the
+      // compute itself for the last stage. First transition: the receive
+      // (column 2i-1), or the compute for the first stage.
+      const std::size_t last_col = (i + 1 < n) ? 2 * i + 1 : 2 * i;
+      const std::size_t first_col = (i > 0) ? 2 * i - 1 : 2 * i;
+      for (std::size_t a = 0; a < team.size(); ++a) {
+        const std::vector<std::int64_t> rows =
+            occurrence_rows(m, team.size(), a);
+        add_cyclic_chain(
+            graph, rows, [&](std::int64_t r) { return id_of(r, last_col); },
+            [&](std::int64_t r) { return id_of(r, first_col); });
+      }
+    }
+  }
+
+  graph.finalize();
+  graph.check_liveness();
+  return graph;
+}
+
+}  // namespace streamflow

@@ -1,0 +1,106 @@
+#include "tpn/columns.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/math_utils.hpp"
+
+namespace streamflow {
+
+bool CommPattern::homogeneous(double rel_tol) const {
+  if (durations.empty()) return true;
+  const double first = durations.front();
+  for (double d : durations) {
+    const double scale = std::max(std::fabs(first), std::fabs(d));
+    if (std::fabs(d - first) > rel_tol * std::max(scale, 1e-300)) return false;
+  }
+  return true;
+}
+
+std::vector<CommPattern> comm_patterns(const Mapping& mapping,
+                                       std::size_t file_index) {
+  SF_REQUIRE(file_index + 1 < mapping.num_stages(),
+             "file index out of range");
+  const auto& senders_team = mapping.team(file_index);
+  const auto& receivers_team = mapping.team(file_index + 1);
+  const std::size_t r_i = senders_team.size();
+  const std::size_t r_next = receivers_team.size();
+  const std::size_t g = std::gcd(r_i, r_next);
+  const std::size_t u = r_i / g;
+  const std::size_t v = r_next / g;
+  const std::int64_t lcm_rows =
+      checked_lcm(static_cast<std::int64_t>(r_i),
+                  static_cast<std::int64_t>(r_next));
+  const std::int64_t copies = mapping.num_paths() / lcm_rows;
+
+  std::vector<CommPattern> result;
+  result.reserve(g);
+  for (std::size_t comp = 0; comp < g; ++comp) {
+    CommPattern pattern;
+    pattern.file_index = file_index;
+    pattern.component = comp;
+    pattern.g = g;
+    pattern.u = u;
+    pattern.v = v;
+    pattern.copies = copies;
+    pattern.senders.reserve(u);
+    for (std::size_t a = 0; a < u; ++a)
+      pattern.senders.push_back(senders_team[comp + a * g]);
+    pattern.receivers.reserve(v);
+    for (std::size_t b = 0; b < v; ++b)
+      pattern.receivers.push_back(receivers_team[comp + b * g]);
+    pattern.durations.reserve(u * v);
+    // Pattern occurrence t corresponds to TPN row comp + t*g; the row uses
+    // sender Team_i[row % R_i] and receiver Team_{i+1}[row % R_{i+1}], whose
+    // local indices reduce to t % u and t % v.
+    for (std::size_t t = 0; t < u * v; ++t) {
+      pattern.durations.push_back(mapping.comm_time(
+          pattern.senders[t % u], pattern.receivers[t % v]));
+    }
+    result.push_back(std::move(pattern));
+  }
+  return result;
+}
+
+TimedEventGraph build_pattern_teg(const CommPattern& pattern) {
+  const std::size_t uv = pattern.size();
+  TimedEventGraph graph(static_cast<std::int64_t>(uv), 1);
+  for (std::size_t t = 0; t < uv; ++t) {
+    graph.add_transition(Transition{
+        .kind = TransitionKind::kComm,
+        .row = static_cast<std::int64_t>(t),
+        .column = 0,
+        .stage = pattern.file_index,
+        .proc = pattern.senders[t % pattern.u],
+        .proc2 = pattern.receivers[t % pattern.v],
+        .duration = pattern.durations[t],
+    });
+  }
+  auto add_chain = [&graph](const std::vector<std::size_t>& members) {
+    const std::size_t k = members.size();
+    for (std::size_t l = 0; l < k; ++l) {
+      const std::size_t next = (l + 1) % k;
+      graph.add_place(Place{
+          .from = members[l],
+          .to = members[next],
+          .kind = PlaceKind::kResource,
+          .initial_tokens = next == 0 ? 1 : 0,
+      });
+    }
+  };
+  for (std::size_t a = 0; a < pattern.u; ++a) {
+    std::vector<std::size_t> chain;
+    for (std::size_t t = a; t < uv; t += pattern.u) chain.push_back(t);
+    add_chain(chain);
+  }
+  for (std::size_t b = 0; b < pattern.v; ++b) {
+    std::vector<std::size_t> chain;
+    for (std::size_t t = b; t < uv; t += pattern.v) chain.push_back(t);
+    add_chain(chain);
+  }
+  graph.finalize();
+  graph.check_liveness();
+  return graph;
+}
+
+}  // namespace streamflow

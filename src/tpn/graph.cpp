@@ -1,0 +1,117 @@
+#include "tpn/graph.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace streamflow {
+
+std::size_t TimedEventGraph::add_transition(Transition t) {
+  SF_REQUIRE(!finalized_, "graph is finalized");
+  SF_REQUIRE(t.duration >= 0.0, "firing duration must be non-negative");
+  transitions_.push_back(t);
+  return transitions_.size() - 1;
+}
+
+std::size_t TimedEventGraph::add_place(Place p) {
+  SF_REQUIRE(!finalized_, "graph is finalized");
+  SF_REQUIRE(p.from < transitions_.size() && p.to < transitions_.size(),
+             "place endpoints must reference existing transitions");
+  SF_REQUIRE(p.initial_tokens >= 0, "initial marking must be non-negative");
+  places_.push_back(p);
+  return places_.size() - 1;
+}
+
+void TimedEventGraph::finalize() {
+  SF_REQUIRE(!finalized_, "graph is already finalized");
+  inputs_.assign(transitions_.size(), {});
+  outputs_.assign(transitions_.size(), {});
+  for (std::size_t id = 0; id < places_.size(); ++id) {
+    outputs_[places_[id].from].push_back(id);
+    inputs_[places_[id].to].push_back(id);
+  }
+  finalized_ = true;
+}
+
+const std::vector<std::size_t>& TimedEventGraph::input_places(
+    std::size_t t) const {
+  SF_REQUIRE(finalized_, "graph must be finalized");
+  SF_REQUIRE(t < inputs_.size(), "transition id out of range");
+  return inputs_[t];
+}
+
+const std::vector<std::size_t>& TimedEventGraph::output_places(
+    std::size_t t) const {
+  SF_REQUIRE(finalized_, "graph must be finalized");
+  SF_REQUIRE(t < outputs_.size(), "transition id out of range");
+  return outputs_[t];
+}
+
+std::vector<std::size_t> TimedEventGraph::last_column_transitions() const {
+  std::vector<std::size_t> result;
+  for (std::size_t id = 0; id < transitions_.size(); ++id) {
+    if (transitions_[id].column == num_columns_ - 1) result.push_back(id);
+  }
+  return result;
+}
+
+void TimedEventGraph::check_liveness() const {
+  SF_REQUIRE(finalized_, "graph must be finalized");
+  // Kahn's algorithm on the token-free-place subgraph: if it has a cycle,
+  // that cycle can never fire (deadlock), the net is not live.
+  std::vector<std::size_t> indegree(transitions_.size(), 0);
+  for (const Place& p : places_) {
+    if (p.initial_tokens == 0) ++indegree[p.to];
+  }
+  std::vector<std::size_t> queue;
+  for (std::size_t t = 0; t < transitions_.size(); ++t)
+    if (indegree[t] == 0) queue.push_back(t);
+  std::size_t processed = 0;
+  while (!queue.empty()) {
+    const std::size_t t = queue.back();
+    queue.pop_back();
+    ++processed;
+    for (std::size_t pid : outputs_[t]) {
+      const Place& p = places_[pid];
+      if (p.initial_tokens > 0) continue;
+      if (--indegree[p.to] == 0) queue.push_back(p.to);
+    }
+  }
+  if (processed != transitions_.size()) {
+    throw InvalidArgument(
+        "event graph is not live: a token-free cycle exists (" +
+        std::to_string(transitions_.size() - processed) +
+        " transitions can never fire)");
+  }
+}
+
+std::string TimedEventGraph::transition_label(std::size_t id) const {
+  const Transition& t = transition(id);
+  std::ostringstream os;
+  if (t.kind == TransitionKind::kCompute) {
+    os << "T" << (t.stage + 1) << "/P" << t.proc << "@r" << t.row;
+  } else {
+    os << "F" << (t.stage + 1) << ":P" << t.proc << "->P" << t.proc2 << "@r"
+       << t.row;
+  }
+  return os.str();
+}
+
+void TimedEventGraph::write_dot(std::ostream& os) const {
+  os << "digraph tpn {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t id = 0; id < transitions_.size(); ++id) {
+    os << "  t" << id << " [label=\"" << transition_label(id) << "\\nd="
+       << transitions_[id].duration << "\"];\n";
+  }
+  for (std::size_t id = 0; id < places_.size(); ++id) {
+    const Place& p = places_[id];
+    os << "  p" << id << " [shape=circle,label=\""
+       << (p.initial_tokens > 0 ? "*" : "") << "\",width=0.2];\n";
+    os << "  t" << p.from << " -> p" << id << ";\n";
+    os << "  p" << id << " -> t" << p.to
+       << (p.kind == PlaceKind::kResource ? " [style=dashed]" : "") << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace streamflow

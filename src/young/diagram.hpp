@@ -1,0 +1,27 @@
+// The Young-diagram combinatorics of Theorem 3: reachable markings of a
+// u x v communication pattern correspond to borderlines made of two monotone
+// lattice paths (Figures 8-9), giving S(u,v) = C(u+v-1, u-1) * v states, of
+// which S'(u,v) = C(u+v-2, u-1) enable a fixed transition.
+//
+// This module provides independent evaluations of those counts (closed form,
+// double-sum over path pairs, and literal path enumeration) so the property
+// tests can triangulate them against the reachability graph of the pattern.
+#pragma once
+
+#include <cstdint>
+
+namespace streamflow {
+
+/// S(u,v) via the paper's double sum
+///   sum_{i=0}^{u-1} sum_{j=0}^{v-1} C(i+j, i) * C(u+v-2-i-j, u-1-i),
+/// which the closed form C(u+v-1, u-1) * v must equal.
+std::int64_t young_state_count_double_sum(std::int64_t u, std::int64_t v);
+
+/// Literal enumeration: generates every monotone lattice path pair and
+/// counts them. Exponential; intended for small u, v in tests.
+std::int64_t young_state_count_enumerated(std::int64_t u, std::int64_t v);
+
+/// S'(u,v) via the double sum  sum_{i<=u-2, j<=v-2} C(i+j, i).
+std::int64_t young_enabled_count_double_sum(std::int64_t u, std::int64_t v);
+
+}  // namespace streamflow

@@ -1,0 +1,40 @@
+#include "young/pattern_analysis.hpp"
+
+#include <numeric>
+
+#include "markov/throughput.hpp"
+#include "maxplus/mcr.hpp"
+
+namespace streamflow {
+
+PatternFlow pattern_flow_exponential(const CommPattern& pattern,
+                                     std::size_t max_states) {
+  const TimedEventGraph teg = build_pattern_teg(pattern);
+  const std::vector<double> rates = rates_from_durations(teg);
+  std::vector<std::size_t> all(teg.num_transitions());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  GeneralMethodOptions options;
+  options.reachability.max_states = max_states;
+  const GeneralMethodResult r =
+      exponential_throughput_general(teg, rates, all, options);
+  SF_ASSERT(!r.capacity_clipped,
+            "pattern TEG has no flow places; capacity cannot clip");
+  return PatternFlow{r.throughput, r.num_states};
+}
+
+double pattern_flow_exponential_homogeneous(std::size_t u, std::size_t v,
+                                            double rate) {
+  SF_REQUIRE(u >= 1 && v >= 1, "pattern dimensions must be >= 1");
+  SF_REQUIRE(rate > 0.0, "rate must be positive");
+  return static_cast<double>(u) * static_cast<double>(v) * rate /
+         static_cast<double>(u + v - 1);
+}
+
+double pattern_flow_deterministic(const CommPattern& pattern) {
+  const TimedEventGraph teg = build_pattern_teg(pattern);
+  const double period = max_cycle_ratio(teg).ratio;
+  SF_ASSERT(period > 0.0, "degenerate pattern period");
+  return static_cast<double>(pattern.size()) / period;
+}
+
+}  // namespace streamflow

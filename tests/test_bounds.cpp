@@ -1,0 +1,115 @@
+// Section 6 reproduced as properties: the N.B.U.E. sandwich of Theorem 7
+// (deterministic above, exponential below) holds for N.B.U.E. laws and can
+// fail for non-N.B.U.E. laws (the Fig 16 / Fig 17 dichotomy).
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "dist/distribution.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "test_helpers.hpp"
+
+namespace streamflow {
+namespace {
+
+/// Simulated throughput of the 3x2 single-communication workload when every
+/// resource follows `law` rescaled to its deterministic mean.
+double simulated_throughput(const Mapping& mapping, const Distribution& law,
+                            std::uint64_t seed) {
+  const StochasticTiming timing = StochasticTiming::scaled(mapping, law);
+  PipelineSimOptions options;
+  options.data_sets = 80'000;
+  options.seed = seed;
+  return simulate_pipeline(mapping, ExecutionModel::kOverlap, timing, options)
+      .throughput;
+}
+
+class NbueSandwichTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NbueSandwichTest, ThroughputLiesBetweenExponentialAndDeterministic) {
+  const DistributionPtr law = parse_distribution(GetParam());
+  ASSERT_TRUE(law->is_nbue()) << law->name();
+  const Mapping mapping = testing::single_comm_mapping(3, 2, 2.0);
+  const NbueBounds bounds =
+      nbue_throughput_bounds(mapping, ExecutionModel::kOverlap);
+  const double sim = simulated_throughput(mapping, *law, 0xBEEF);
+  // 2% slack for simulation noise.
+  EXPECT_GE(sim, bounds.lower * 0.98) << law->name();
+  EXPECT_LE(sim, bounds.upper * 1.02) << law->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(NbueLaws, NbueSandwichTest,
+                         ::testing::Values("const:1",
+                                           "exp:1",
+                                           "uniform:0.5,1.5",
+                                           "gauss:10,5",       // Gauss-like
+                                           "gauss:10,2.2",
+                                           "beta:1,1,2",
+                                           "beta:2,2,2",
+                                           "gamma:2,0.5",
+                                           "gamma:5,0.2",
+                                           "weibull:1.5,1"));
+
+TEST(NbueSandwich, ExponentialLawSitsOnTheLowerBound) {
+  const Mapping mapping = testing::single_comm_mapping(3, 2, 2.0);
+  const NbueBounds bounds =
+      nbue_throughput_bounds(mapping, ExecutionModel::kOverlap);
+  const double sim =
+      simulated_throughput(mapping, *make_exponential_mean(1.0), 0xCAFE);
+  EXPECT_NEAR(sim, bounds.lower, 0.02 * bounds.lower);
+}
+
+TEST(NbueSandwich, ConstantLawSitsOnTheUpperBound) {
+  const Mapping mapping = testing::single_comm_mapping(3, 2, 2.0);
+  const NbueBounds bounds =
+      nbue_throughput_bounds(mapping, ExecutionModel::kOverlap);
+  const double sim = simulated_throughput(mapping, *make_constant(1.0), 1);
+  EXPECT_NEAR(sim, bounds.upper, 0.01 * bounds.upper);
+}
+
+class NonNbueViolationTest : public ::testing::TestWithParam<const char*> {};
+
+// Strongly DFR laws (CV^2 > 1) push the throughput BELOW the exponential
+// lower bound: the sandwich genuinely requires N.B.U.E. (Fig 17).
+TEST_P(NonNbueViolationTest, MoreVariableThanExponentialBreaksLowerBound) {
+  const DistributionPtr law = parse_distribution(GetParam());
+  ASSERT_FALSE(law->is_nbue()) << law->name();
+  const Mapping mapping = testing::single_comm_mapping(3, 2, 2.0);
+  const NbueBounds bounds =
+      nbue_throughput_bounds(mapping, ExecutionModel::kOverlap);
+  const double sim = simulated_throughput(mapping, *law, 0xF00D);
+  EXPECT_LT(sim, bounds.lower * 0.97) << law->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(HeavyLaws, NonNbueViolationTest,
+                         ::testing::Values("gamma:0.25,4",
+                                           "hyperexp:0.5,10,0.1",
+                                           "lognormal:0,1.5"));
+
+TEST(Bounds, GapClosesWithoutReplication) {
+  // With a single critical resource and no replication contention, the
+  // chain throughput equals the bottleneck rate in BOTH the deterministic
+  // and exponential cases, so the sandwich is tight.
+  const Mapping mapping = testing::chain_mapping({4.0, 1.0}, {0.5});
+  const NbueBounds bounds =
+      nbue_throughput_bounds(mapping, ExecutionModel::kOverlap);
+  EXPECT_NEAR(bounds.lower, bounds.upper, 1e-9);
+  EXPECT_NEAR(bounds.upper, 0.25, 1e-9);
+}
+
+TEST(Bounds, GapWidensWithPatternSize) {
+  // Fig 15: the det/exp ratio is (u+v-1)/max(u,v), growing with contention.
+  double previous_ratio = 1.0;
+  for (std::size_t u : {2u, 3u, 4u, 5u}) {
+    const Mapping mapping = testing::single_comm_mapping(u, u + 1, 2.0);
+    const NbueBounds bounds =
+        nbue_throughput_bounds(mapping, ExecutionModel::kOverlap);
+    const double ratio = bounds.upper / bounds.lower;
+    EXPECT_NEAR(ratio,
+                static_cast<double>(2 * u) / static_cast<double>(u + 1), 1e-6);
+    EXPECT_GT(ratio, previous_ratio);
+    previous_ratio = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace streamflow

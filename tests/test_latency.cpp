@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "sim/pipeline_sim.hpp"
+#include "test_helpers.hpp"
+
+namespace streamflow {
+namespace {
+
+TEST(Latency, DeterministicChainLatencyIsSumOfServiceTimes) {
+  // Without replication, with a clear bottleneck, every data set's
+  // traversal latency settles to... at least the raw service sum; with the
+  // bottleneck mid-chain, upstream items queue so the mean latency exceeds
+  // the raw sum. With the bottleneck FIRST, no internal queueing happens
+  // and the latency equals the sum of the remaining service times exactly.
+  const Mapping mapping = testing::chain_mapping({5.0, 1.0, 1.0}, {0.5, 0.5});
+  const StochasticTiming det = StochasticTiming::deterministic(mapping);
+  PipelineSimOptions options;
+  options.data_sets = 5'000;
+  const auto sim =
+      simulate_pipeline(mapping, ExecutionModel::kOverlap, det, options);
+  // Raw traversal: 5 + 0.5 + 1 + 0.5 + 1 = 8.
+  EXPECT_NEAR(sim.mean_latency, 8.0, 1e-9);
+  EXPECT_NEAR(sim.max_latency, 8.0, 1e-9);
+}
+
+TEST(Latency, InternalBottleneckQueuesUnboundedly) {
+  // Bottleneck at the END: items pile up in front of it, so the traversal
+  // latency keeps growing with the horizon (unbounded internal buffers).
+  const Mapping mapping = testing::chain_mapping({1.0, 5.0}, {0.1});
+  const StochasticTiming det = StochasticTiming::deterministic(mapping);
+  PipelineSimOptions small;
+  small.data_sets = 2'000;
+  PipelineSimOptions large;
+  large.data_sets = 8'000;
+  const auto a =
+      simulate_pipeline(mapping, ExecutionModel::kOverlap, det, small);
+  const auto b =
+      simulate_pipeline(mapping, ExecutionModel::kOverlap, det, large);
+  EXPECT_GT(b.mean_latency, 2.0 * a.mean_latency);
+}
+
+TEST(Latency, StrictBlocksInsteadOfQueueing) {
+  // Under Strict, the first stage cannot run ahead (its send blocks until
+  // the downstream cycle frees), so the latency stays bounded even with a
+  // downstream bottleneck.
+  const Mapping mapping = testing::chain_mapping({1.0, 5.0}, {0.1});
+  const StochasticTiming det = StochasticTiming::deterministic(mapping);
+  PipelineSimOptions small;
+  small.data_sets = 2'000;
+  PipelineSimOptions large;
+  large.data_sets = 8'000;
+  const auto a =
+      simulate_pipeline(mapping, ExecutionModel::kStrict, det, small);
+  const auto b =
+      simulate_pipeline(mapping, ExecutionModel::kStrict, det, large);
+  EXPECT_NEAR(a.mean_latency, b.mean_latency, 0.05 * a.mean_latency);
+  EXPECT_LT(b.max_latency, 20.0);
+}
+
+TEST(Latency, ExponentialLatencyExceedsDeterministic) {
+  const Mapping mapping = testing::replicated_chain_mapping(1, 2, 1, 2.0, 0.5);
+  PipelineSimOptions options;
+  options.data_sets = 30'000;
+  const auto det = simulate_pipeline(mapping, ExecutionModel::kStrict,
+                                     StochasticTiming::deterministic(mapping),
+                                     options);
+  const auto exp = simulate_pipeline(mapping, ExecutionModel::kStrict,
+                                     StochasticTiming::exponential(mapping),
+                                     options);
+  EXPECT_GT(exp.mean_latency, det.mean_latency);
+  EXPECT_GT(exp.max_latency, exp.mean_latency);
+}
+
+}  // namespace
+}  // namespace streamflow

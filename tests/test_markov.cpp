@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "markov/throughput.hpp"
+#include "test_helpers.hpp"
+#include "tpn/builder.hpp"
+#include "tpn/columns.hpp"
+
+namespace streamflow {
+namespace {
+
+TEST(Reachability, SingleSelfLoopTransition) {
+  // One transition with a marked self-loop: a single state, one self-edge.
+  TimedEventGraph g(1, 1);
+  g.add_transition(Transition{.duration = 2.0});
+  g.add_place(Place{0, 0, PlaceKind::kResource, 1});
+  g.finalize();
+  const auto chain = explore_markings(g, {0.5});
+  EXPECT_EQ(chain.num_states, 1u);
+  ASSERT_EQ(chain.edges.size(), 1u);
+  EXPECT_EQ(chain.edges[0].from, chain.edges[0].to);
+}
+
+TEST(Reachability, TwoTransitionRing) {
+  // 0 -> 1 -> 0 ring with one token: two states (token at either place).
+  TimedEventGraph g(2, 1);
+  g.add_transition(Transition{.duration = 1.0});
+  g.add_transition(Transition{.row = 1, .duration = 1.0});
+  g.add_place(Place{0, 1, PlaceKind::kResource, 1});
+  g.add_place(Place{1, 0, PlaceKind::kResource, 0});
+  g.finalize();
+  const auto chain = explore_markings(g, {1.0, 2.0});
+  EXPECT_EQ(chain.num_states, 2u);
+  EXPECT_EQ(chain.edges.size(), 2u);
+  EXPECT_FALSE(chain.capacity_clipped);
+}
+
+TEST(Reachability, StrictTpnIsOneSafe) {
+  const Mapping mapping = testing::replicated_chain_mapping(1, 2, 1);
+  const TimedEventGraph g = build_tpn(mapping, ExecutionModel::kStrict);
+  ReachabilityOptions options;
+  options.place_capacity = 1;  // must never clip: the Strict net is 1-safe
+  const auto chain =
+      explore_markings(g, rates_from_durations(g), options);
+  EXPECT_FALSE(chain.capacity_clipped);
+  EXPECT_GT(chain.num_states, 1u);
+}
+
+TEST(Reachability, OverlapTpnNeedsBuffers) {
+  // A fast first stage accumulates tokens ahead of a slow second stage:
+  // with capacity 1 the chain clips, and raising the capacity grows the
+  // state space.
+  const Mapping mapping = testing::chain_mapping({0.1, 10.0}, {0.1});
+  const TimedEventGraph g = build_tpn(mapping, ExecutionModel::kOverlap);
+  const auto rates = rates_from_durations(g);
+  ReachabilityOptions tight;
+  tight.place_capacity = 1;
+  const auto clipped = explore_markings(g, rates, tight);
+  EXPECT_TRUE(clipped.capacity_clipped);
+  ReachabilityOptions loose;
+  loose.place_capacity = 6;
+  const auto wide = explore_markings(g, rates, loose);
+  EXPECT_GT(wide.num_states, clipped.num_states);
+}
+
+TEST(Reachability, StateCapIsEnforced) {
+  const Mapping mapping = testing::replicated_chain_mapping(2, 3, 2);
+  const TimedEventGraph g = build_tpn(mapping, ExecutionModel::kStrict);
+  ReachabilityOptions options;
+  options.max_states = 10;
+  EXPECT_THROW(explore_markings(g, rates_from_durations(g), options),
+               CapacityExceeded);
+}
+
+TEST(Reachability, RejectsBadRates) {
+  TimedEventGraph g(1, 1);
+  g.add_transition(Transition{.duration = 1.0});
+  g.add_place(Place{0, 0, PlaceKind::kResource, 1});
+  g.finalize();
+  EXPECT_THROW(explore_markings(g, {0.0}), InvalidArgument);
+  EXPECT_THROW(explore_markings(g, {1.0, 1.0}), InvalidArgument);
+}
+
+TEST(GeneralMethod, SingleServerRateIsLambda) {
+  // One processor with exponential service at rate lambda, always busy:
+  // throughput = lambda.
+  const Mapping mapping = testing::chain_mapping({4.0}, {});
+  const TimedEventGraph g = build_tpn(mapping, ExecutionModel::kOverlap);
+  const auto r = exponential_throughput_general(
+      g, rates_from_durations(g), g.last_column_transitions());
+  EXPECT_NEAR(r.throughput, 0.25, 1e-12);
+}
+
+TEST(GeneralMethod, TandemTwoServersIsSaturationMin) {
+  // Saturated M -> M tandem with unbounded buffer: output rate min(a, b).
+  // With a finite buffer the rate is slightly below min(a, b) and grows
+  // with the buffer size.
+  const Mapping mapping = testing::chain_mapping({1.0, 2.0}, {1e-3});
+  const TimedEventGraph g = build_tpn(mapping, ExecutionModel::kOverlap);
+  const auto rates = rates_from_durations(g);
+  double previous = 0.0;
+  for (int capacity : {1, 2, 4, 8, 16}) {
+    GeneralMethodOptions options;
+    options.reachability.place_capacity = capacity;
+    const auto r = exponential_throughput_general(
+        g, rates, g.last_column_transitions(), options);
+    EXPECT_GE(r.throughput, previous - 1e-12);
+    EXPECT_LE(r.throughput, 0.5 + 1e-9);
+    previous = r.throughput;
+  }
+  EXPECT_NEAR(previous, 0.5, 0.02);  // converging to min(1, 1/2)
+}
+
+TEST(GeneralMethod, FrequenciesAreRowUniform) {
+  // In steady state every transition of a strongly coupled pattern fires at
+  // the same frequency (the round-robin equalizes rows).
+  const Mapping mapping = testing::single_comm_mapping(2, 3, 1.0, 0.5);
+  const auto patterns = comm_patterns(mapping, 0);
+  const TimedEventGraph teg = build_pattern_teg(patterns[0]);
+  const auto freq =
+      stationary_frequencies(teg, rates_from_durations(teg));
+  for (double f : freq) EXPECT_NEAR(f, freq[0], 1e-9);
+}
+
+}  // namespace
+}  // namespace streamflow

@@ -1,0 +1,110 @@
+#include "common/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace streamflow {
+namespace {
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Prng a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, Uniform01MomentsAndRange) {
+  Prng prng(7);
+  RunningStats stats;
+  for (int i = 0; i < 200'000; ++i) {
+    const double x = prng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.005);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Prng, UniformIndexIsUnbiased) {
+  Prng prng(11);
+  constexpr std::uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  constexpr int draws = 140'000;
+  for (int i = 0; i < draws; ++i) ++counts[prng.uniform_index(n)];
+  for (std::uint64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]), draws / 7.0,
+                5.0 * std::sqrt(draws / 7.0));
+  }
+}
+
+TEST(Prng, ExponentialMoments) {
+  Prng prng(3);
+  const double lambda = 2.5;
+  RunningStats stats;
+  for (int i = 0; i < 400'000; ++i) stats.add(prng.exponential(lambda));
+  EXPECT_NEAR(stats.mean(), 1.0 / lambda, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / (lambda * lambda), 0.01);
+}
+
+TEST(Prng, NormalMoments) {
+  Prng prng(5);
+  RunningStats stats;
+  for (int i = 0; i < 400'000; ++i) stats.add(prng.normal01());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.02);
+}
+
+class GammaMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaMomentsTest, MeanAndVarianceMatchShape) {
+  const double shape = GetParam();
+  Prng prng(17);
+  RunningStats stats;
+  for (int i = 0; i < 300'000; ++i) stats.add(prng.gamma(shape));
+  EXPECT_NEAR(stats.mean(), shape, 0.05 * std::max(shape, 0.2));
+  EXPECT_NEAR(stats.variance(), shape, 0.08 * std::max(shape, 0.3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaMomentsTest,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 5.0));
+
+TEST(Prng, BetaMoments) {
+  Prng prng(23);
+  const double alpha = 2.0, beta = 3.0;
+  RunningStats stats;
+  for (int i = 0; i < 300'000; ++i) stats.add(prng.beta(alpha, beta));
+  EXPECT_NEAR(stats.mean(), alpha / (alpha + beta), 0.005);
+  const double var = alpha * beta / ((alpha + beta) * (alpha + beta) *
+                                     (alpha + beta + 1.0));
+  EXPECT_NEAR(stats.variance(), var, 0.005);
+}
+
+TEST(Prng, SplitProducesIndependentStreams) {
+  Prng parent(99);
+  Prng c1 = parent.split(0);
+  Prng c2 = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (c1() == c2()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, InvalidArguments) {
+  Prng prng(1);
+  EXPECT_THROW(prng.exponential(0.0), InvalidArgument);
+  EXPECT_THROW(prng.exponential(-1.0), InvalidArgument);
+  EXPECT_THROW(prng.gamma(0.0), InvalidArgument);
+  EXPECT_THROW(prng.uniform(2.0, 1.0), InvalidArgument);
+  EXPECT_THROW(prng.uniform_index(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace streamflow

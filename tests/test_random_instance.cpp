@@ -1,0 +1,98 @@
+#include "model/random_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace streamflow {
+namespace {
+
+TEST(RandomInstance, RespectsShapeAndRanges) {
+  RandomInstanceOptions options;
+  options.num_stages = 5;
+  options.num_processors = 12;
+  options.comp_min = 5.0;
+  options.comp_max = 15.0;
+  options.comm_min = 10.0;
+  options.comm_max = 50.0;
+  Prng prng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Mapping mapping = random_instance(options, prng);
+    EXPECT_EQ(mapping.num_stages(), 5u);
+    EXPECT_EQ(mapping.num_processors(), 12u);
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_GE(mapping.replication(i), 1u);
+      used += mapping.replication(i);
+      for (std::size_t p : mapping.team(i)) {
+        EXPECT_GE(mapping.comp_time(p), options.comp_min - 1e-9);
+        EXPECT_LE(mapping.comp_time(p), options.comp_max + 1e-9);
+        if (i + 1 < 5) {
+          for (std::size_t q : mapping.team(i + 1)) {
+            EXPECT_GE(mapping.comm_time(p, q), options.comm_min - 1e-9);
+            EXPECT_LE(mapping.comm_time(p, q), options.comm_max + 1e-9);
+          }
+        }
+      }
+    }
+    EXPECT_EQ(used, 12u);  // every processor is assigned
+    EXPECT_LE(mapping.num_paths(), options.max_paths);
+  }
+}
+
+TEST(RandomInstance, HomogeneousOptionMakesColumnsUniform) {
+  RandomInstanceOptions options;
+  options.num_stages = 3;
+  options.num_processors = 9;
+  options.homogeneous_network = true;
+  Prng prng(11);
+  const Mapping mapping = random_instance(options, prng);
+  for (std::size_t i = 0; i + 1 < 3; ++i) {
+    double seen = -1.0;
+    for (std::size_t p : mapping.team(i)) {
+      for (std::size_t q : mapping.team(i + 1)) {
+        const double t = mapping.comm_time(p, q);
+        if (seen < 0.0) seen = t;
+        EXPECT_NEAR(t, seen, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(RandomInstance, DeterministicGivenSeed) {
+  RandomInstanceOptions options;
+  options.num_stages = 4;
+  options.num_processors = 10;
+  Prng a(99), b(99);
+  const Mapping m1 = random_instance(options, a);
+  const Mapping m2 = random_instance(options, b);
+  EXPECT_EQ(m1.to_string(), m2.to_string());
+  for (std::size_t p = 0; p < 10; ++p)
+    EXPECT_EQ(m1.stage_of(p), m2.stage_of(p));
+}
+
+TEST(RandomInstance, Validation) {
+  Prng prng(1);
+  RandomInstanceOptions bad;
+  bad.num_stages = 5;
+  bad.num_processors = 3;
+  EXPECT_THROW(random_instance(bad, prng), InvalidArgument);
+  RandomInstanceOptions bad_range;
+  bad_range.comp_min = 0.0;
+  EXPECT_THROW(random_instance(bad_range, prng), InvalidArgument);
+}
+
+TEST(RandomInstance, LcmCapIsEnforced) {
+  RandomInstanceOptions options;
+  options.num_stages = 6;
+  options.num_processors = 30;
+  options.max_paths = 64;
+  Prng prng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Mapping mapping = random_instance(options, prng);
+    EXPECT_LE(mapping.num_paths(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace streamflow

@@ -1,0 +1,82 @@
+#include "model/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "maxplus/deterministic.hpp"
+#include "model/random_instance.hpp"
+#include "test_helpers.hpp"
+
+namespace streamflow {
+namespace {
+
+TEST(Serialization, RoundTripPreservesEverything) {
+  Prng prng(404);
+  RandomInstanceOptions options;
+  options.num_stages = 4;
+  options.num_processors = 9;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Mapping original = random_instance(options, prng);
+    const Mapping loaded = instance_from_string(instance_to_string(original));
+    EXPECT_EQ(loaded.to_string(), original.to_string());
+    EXPECT_EQ(loaded.num_paths(), original.num_paths());
+    for (std::size_t p = 0; p < original.num_processors(); ++p) {
+      EXPECT_EQ(loaded.stage_of(p), original.stage_of(p));
+      if (original.stage_of(p) != Mapping::kUnused) {
+        EXPECT_DOUBLE_EQ(loaded.comp_time(p), original.comp_time(p));
+      }
+    }
+    // The analyses agree bit-for-bit on the round-tripped instance.
+    const double rho_a =
+        deterministic_throughput(original, ExecutionModel::kOverlap).throughput;
+    const double rho_b =
+        deterministic_throughput(loaded, ExecutionModel::kOverlap).throughput;
+    EXPECT_DOUBLE_EQ(rho_a, rho_b);
+  }
+}
+
+TEST(Serialization, AcceptsCommentsAndBlankLines) {
+  const Mapping original = testing::chain_mapping({1.0, 2.0}, {0.5});
+  std::string text = instance_to_string(original);
+  text = "# a comment\n\n" + text + "\n   \n# trailing\n";
+  const Mapping loaded = instance_from_string(text);
+  EXPECT_EQ(loaded.to_string(), original.to_string());
+}
+
+TEST(Serialization, DiagnosesMalformedInput) {
+  EXPECT_THROW(instance_from_string(""), InvalidArgument);
+  EXPECT_THROW(instance_from_string("not-an-instance\n"), InvalidArgument);
+
+  const std::string base = instance_to_string(
+      testing::chain_mapping({1.0, 2.0}, {0.5}));
+
+  // Unknown keyword.
+  EXPECT_THROW(instance_from_string(base + "bogus 1 2\n"), InvalidArgument);
+  // Duplicate team.
+  EXPECT_THROW(instance_from_string(base + "team 0 1\n"), InvalidArgument);
+  // Missing sections.
+  EXPECT_THROW(instance_from_string("streamflow-instance v1\nstages 2\n"),
+               InvalidArgument);
+
+  // Semantic failure (processor on two stages) surfaces as InvalidArgument.
+  std::string twisted = base;
+  const auto pos = twisted.find("team 1");
+  twisted.replace(pos, std::string("team 1 1").size(), "team 1 0");
+  EXPECT_THROW(instance_from_string(twisted), InvalidArgument);
+}
+
+TEST(Serialization, CountMismatchesAreCaught) {
+  EXPECT_THROW(instance_from_string("streamflow-instance v1\n"
+                                    "stages 2\n"
+                                    "works 1 2 3\n"  // too many
+                                    "files 1\n"
+                                    "processors 2\n"
+                                    "speeds 1 1\n"
+                                    "link 0 1 1\n"
+                                    "team 0 0\n"
+                                    "team 1 1\n"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace streamflow

@@ -1,0 +1,178 @@
+// streamflow — command-line analyzer.
+//
+// Usage:
+//   streamflow analyze <instance-file> [--model overlap|strict]
+//   streamflow simulate <instance-file> [--model overlap|strict]
+//                        [--law <spec>] [--data-sets N] [--seed S]
+//   streamflow export-tpn <instance-file> [--model overlap|strict]  # DOT
+//   streamflow example > my.instance                                # template
+//
+// Instance files use the format of model/serialization.hpp. Law specs follow
+// dist/distribution.hpp's parse_distribution ("exp:1", "gauss:10,2", ...).
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "model/serialization.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "tpn/builder.hpp"
+
+namespace {
+
+using namespace streamflow;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  streamflow analyze <instance> [--model overlap|strict]\n"
+      << "  streamflow simulate <instance> [--model overlap|strict]\n"
+      << "             [--law <spec>] [--data-sets N] [--seed S]\n"
+      << "  streamflow export-tpn <instance> [--model overlap|strict]\n"
+      << "  streamflow example\n";
+  return 2;
+}
+
+struct CliArgs {
+  std::string command;
+  std::string instance_path;
+  ExecutionModel model = ExecutionModel::kOverlap;
+  std::string law = "exp:1";  // rescaled per resource to its mean
+  std::int64_t data_sets = 50'000;
+  std::uint64_t seed = 42;
+};
+
+bool parse_args(int argc, char** argv, CliArgs& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  int positional = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (a == "--model") {
+      const char* v = next();
+      if (!v) return false;
+      const std::string value = v;
+      if (value == "overlap") {
+        args.model = ExecutionModel::kOverlap;
+      } else if (value == "strict") {
+        args.model = ExecutionModel::kStrict;
+      } else {
+        return false;
+      }
+    } else if (a == "--law") {
+      const char* v = next();
+      if (!v) return false;
+      args.law = v;
+    } else if (a == "--data-sets") {
+      const char* v = next();
+      if (!v) return false;
+      args.data_sets = std::stoll(v);
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args.seed = std::stoull(v);
+    } else if (!a.empty() && a[0] != '-' && positional == 0) {
+      args.instance_path = a;
+      ++positional;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+Mapping load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InvalidArgument("cannot open instance file '" + path + "'");
+  return load_instance(in);
+}
+
+int cmd_analyze(const CliArgs& args) {
+  const Mapping mapping = load(args.instance_path);
+  std::cout << mapping.to_string() << "\n";
+  std::cout << "model: " << to_string(args.model) << ", m = "
+            << mapping.num_paths() << " paths\n\n";
+  const auto det = deterministic_throughput(mapping, args.model);
+  std::cout << "deterministic throughput : " << det.throughput << "\n";
+  std::cout << "in-order delivery rate   : " << det.in_order_throughput
+            << "\n";
+  std::cout << "critical-resource bound  : " << det.critical_resource_throughput
+            << (det.critical_resource_attained ? " (attained)"
+                                               : " (NOT attained)")
+            << "\n";
+  ExponentialOptions options;
+  const auto exp = exponential_throughput(mapping, args.model, options);
+  std::cout << "exponential throughput   : " << exp.throughput << "  ("
+            << (exp.method_used == ExponentialMethod::kColumns
+                    ? "Theorem 3/4 columns"
+                    : "Theorem 2 CTMC, " + std::to_string(exp.ctmc_states) +
+                          " states")
+            << ")\n";
+  const auto bounds = nbue_throughput_bounds(mapping, args.model, options);
+  std::cout << "N.B.U.E. guarantee       : [" << bounds.lower << ", "
+            << bounds.upper << "]\n";
+  if (!exp.components.empty()) {
+    std::cout << "\nbottlenecks:\n";
+    for (const auto& c : exp.components) {
+      if (!c.bottleneck) continue;
+      std::cout << "  " << c.label << ": saturated " << c.inner
+                << ", effective " << c.effective << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_simulate(const CliArgs& args) {
+  const Mapping mapping = load(args.instance_path);
+  const DistributionPtr law = parse_distribution(args.law);
+  const StochasticTiming timing = StochasticTiming::scaled(mapping, *law);
+  PipelineSimOptions options;
+  options.data_sets = args.data_sets;
+  options.seed = args.seed;
+  const auto r = simulate_pipeline(mapping, args.model, timing, options);
+  std::cout << "law            : " << law->name() << " (rescaled per resource)"
+            << (timing.all_nbue() ? ", N.B.U.E." : ", NOT N.B.U.E.") << "\n";
+  std::cout << "throughput     : " << r.throughput << "\n";
+  std::cout << "in-order rate  : " << r.in_order_throughput << "\n";
+  std::cout << "mean latency   : " << r.mean_latency << "\n";
+  std::cout << "completed      : " << r.completed << " data sets in "
+            << r.elapsed << " time units\n";
+  return 0;
+}
+
+int cmd_export_tpn(const CliArgs& args) {
+  const Mapping mapping = load(args.instance_path);
+  const TimedEventGraph g = build_tpn(mapping, args.model);
+  g.write_dot(std::cout);
+  return 0;
+}
+
+int cmd_example() {
+  Application app({2.0, 6.0, 4.0, 1.0}, {1.0, 3.0, 1.0});
+  Platform platform = Platform::fully_connected(
+      {2.0, 1.5, 1.0, 1.2, 0.8, 1.1, 2.5}, 2.0);
+  Mapping mapping(app, platform, {{0}, {1, 2}, {3, 4, 5}, {6}});
+  save_instance(std::cout, mapping);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!parse_args(argc, argv, args)) return usage();
+  try {
+    if (args.command == "example") return cmd_example();
+    if (args.instance_path.empty()) return usage();
+    if (args.command == "analyze") return cmd_analyze(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "export-tpn") return cmd_export_tpn(args);
+    return usage();
+  } catch (const streamflow::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
