@@ -91,10 +91,8 @@ bool StochasticTiming::all_nbue() const {
 bool StochasticTiming::all_exponential() const {
   auto exp_or_const = [](const DistributionPtr& law) {
     if (!law) return true;
-    const double m = law->mean();
-    const double v = law->variance();
-    if (v == 0.0) return true;  // constant
-    return m > 0.0 && std::fabs(v / (m * m) - 1.0) < 1e-12;
+    const double c = law->cv2();
+    return c == 0.0 || std::fabs(c - 1.0) < 1e-12;
   };
   for (const auto& law : comp_)
     if (!exp_or_const(law)) return false;

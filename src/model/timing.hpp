@@ -41,10 +41,10 @@ class StochasticTiming {
   /// True if every assigned law is N.B.U.E. (Theorem 7's bounds then hold).
   bool all_nbue() const;
 
-  /// True if every assigned law is exponential-or-constant... strictly: true
-  /// if all laws report zero excess variance over the exponential family is
-  /// not checkable generically, so this reports whether each law's squared
-  /// coefficient of variation is 1 (exponential) or 0 (constant).
+  /// True if every assigned law looks exponential-or-constant. Exact family
+  /// membership is not checkable through the abstract interface, so this
+  /// reports whether each law's squared coefficient of variation is 1
+  /// (exponential) or 0 (constant).
   bool all_exponential() const;
 
   std::size_t num_processors() const { return comp_.size(); }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run locally or by CI: configure, build, and test the
+# whole tree in both Debug and Release.
+#
+#   tools/ci.sh            # both configurations
+#   tools/ci.sh Release    # one configuration
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+configs=("$@")
+if [ ${#configs[@]} -eq 0 ]; then
+  configs=(Debug Release)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+for config in "${configs[@]}"; do
+  build_dir="build-$(echo "${config}" | tr '[:upper:]' '[:lower:]')"
+  echo "==> ${config}: configure"
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${config}"
+  echo "==> ${config}: build"
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "==> ${config}: test"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+done
+
+echo "==> all configurations green"

@@ -1,0 +1,54 @@
+# End-to-end smoke test for streamflow_cli, run by CTest as
+#   cmake -DCLI=<binary> -DWORK_DIR=<scratch dir> -P cli_smoke.cmake
+# Exercises --help plus the example -> analyze -> simulate -> export-tpn
+# round trip on a generated instance file.
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<binary> -DWORK_DIR=<dir> -P cli_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_cli expect_rc out_var)
+  execute_process(COMMAND "${CLI}" ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "streamflow_cli ${ARGN} exited ${rc} "
+                        "(expected ${expect_rc})\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# --help must succeed and describe the subcommands.
+run_cli(0 help_out --help)
+if(NOT help_out MATCHES "usage" OR NOT help_out MATCHES "simulate")
+  message(FATAL_ERROR "--help output does not look like usage text:\n${help_out}")
+endif()
+
+# A bad invocation must fail loudly.
+run_cli(2 ignored definitely-not-a-command)
+
+# example -> analyze -> simulate -> export-tpn on a real instance.
+set(instance "${WORK_DIR}/example.instance")
+run_cli(0 example_out example)
+file(WRITE "${instance}" "${example_out}")
+
+run_cli(0 analyze_out analyze "${instance}")
+if(NOT analyze_out MATCHES "deterministic throughput" OR
+   NOT analyze_out MATCHES "N\\.B\\.U\\.E\\.")
+  message(FATAL_ERROR "analyze output incomplete:\n${analyze_out}")
+endif()
+
+run_cli(0 sim_out simulate "${instance}" --law gamma:2,0.5 --data-sets 2000 --seed 7)
+if(NOT sim_out MATCHES "throughput" OR NOT sim_out MATCHES "gamma")
+  message(FATAL_ERROR "simulate output incomplete:\n${sim_out}")
+endif()
+
+run_cli(0 dot_out export-tpn "${instance}")
+if(NOT dot_out MATCHES "digraph")
+  message(FATAL_ERROR "export-tpn did not emit DOT:\n${dot_out}")
+endif()
+
+message(STATUS "cli_smoke passed")

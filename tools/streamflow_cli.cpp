@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <type_traits>
 
 #include "core/analyzer.hpp"
 #include "model/serialization.hpp"
@@ -22,14 +23,18 @@ namespace {
 
 using namespace streamflow;
 
-int usage() {
-  std::cerr
-      << "usage:\n"
+void print_usage(std::ostream& out) {
+  out << "usage:\n"
       << "  streamflow analyze <instance> [--model overlap|strict]\n"
       << "  streamflow simulate <instance> [--model overlap|strict]\n"
       << "             [--law <spec>] [--data-sets N] [--seed S]\n"
       << "  streamflow export-tpn <instance> [--model overlap|strict]\n"
-      << "  streamflow example\n";
+      << "  streamflow example\n"
+      << "  streamflow help | --help\n";
+}
+
+int usage() {
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -41,6 +46,26 @@ struct CliArgs {
   std::int64_t data_sets = 50'000;
   std::uint64_t seed = 42;
 };
+
+/// Strict integer parse: the whole token must be consumed (rejects "1e6",
+/// "7x") and the value must fit the destination type (rejects --seed -1).
+template <typename Int>
+bool parse_integer(const std::string& token, Int& out) {
+  try {
+    std::size_t pos = 0;
+    if constexpr (std::is_unsigned_v<Int>) {
+      if (!token.empty() && token[0] == '-') return false;  // stoull wraps
+      const unsigned long long value = std::stoull(token, &pos);
+      out = static_cast<Int>(value);
+    } else {
+      const long long value = std::stoll(token, &pos);
+      out = static_cast<Int>(value);
+    }
+    return pos == token.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
 
 bool parse_args(int argc, char** argv, CliArgs& args) {
   if (argc < 2) return false;
@@ -68,12 +93,10 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.law = v;
     } else if (a == "--data-sets") {
       const char* v = next();
-      if (!v) return false;
-      args.data_sets = std::stoll(v);
+      if (!v || !parse_integer(v, args.data_sets)) return false;
     } else if (a == "--seed") {
       const char* v = next();
-      if (!v) return false;
-      args.seed = std::stoull(v);
+      if (!v || !parse_integer(v, args.seed)) return false;
     } else if (!a.empty() && a[0] != '-' && positional == 0) {
       args.instance_path = a;
       ++positional;
@@ -164,6 +187,11 @@ int cmd_example() {
 int main(int argc, char** argv) {
   CliArgs args;
   if (!parse_args(argc, argv, args)) return usage();
+  if (args.command == "help" || args.command == "--help" ||
+      args.command == "-h") {
+    print_usage(std::cout);
+    return 0;
+  }
   try {
     if (args.command == "example") return cmd_example();
     if (args.instance_path.empty()) return usage();
