@@ -149,9 +149,51 @@ class Prng {
     return Prng(s);
   }
 
+  /// Advance the state by exactly 2^128 steps of operator() — the published
+  /// xoshiro256 jump polynomial. Partitions the 2^256-1 period into 2^128
+  /// non-overlapping substreams of 2^128 draws each: `k` jumps from a common
+  /// seed yield substream k. Discards any cached normal deviate (it belongs
+  /// to the pre-jump stream).
+  void jump() {
+    static constexpr std::array<std::uint64_t, 4> kPolynomial{
+        0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+        0x39ABDC4529B1661CULL};
+    apply_jump_polynomial(kPolynomial);
+  }
+
+  /// Advance by 2^192 steps (the long-jump polynomial): 2^64 substreams of
+  /// 2^192 draws, for hierarchical stream splitting (e.g. one long_jump per
+  /// worker, jumps within a worker).
+  void long_jump() {
+    static constexpr std::array<std::uint64_t, 4> kPolynomial{
+        0x76E15D3EFEFDCBBFULL, 0xC5004E441C522FB3ULL, 0x77710069854EE241ULL,
+        0x39109BB02ACBE635ULL};
+    apply_jump_polynomial(kPolynomial);
+  }
+
+  /// Raw 256-bit state (little-endian word order), for tests that verify the
+  /// jump against an independent GF(2) matrix-power computation.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
+  }
+
+  /// Multiply the state (a GF(2) vector) by the given polynomial in the step
+  /// transition: accumulate T^i * state for every set bit i while stepping.
+  void apply_jump_polynomial(const std::array<std::uint64_t, 4>& polynomial) {
+    std::array<std::uint64_t, 4> acc{};
+    for (const std::uint64_t word : polynomial) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (1ULL << bit)) {
+          for (std::size_t i = 0; i < state_.size(); ++i) acc[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+    has_cached_normal_ = false;
   }
 
   std::array<std::uint64_t, 4> state_{};

@@ -1,0 +1,50 @@
+// Fixed-size thread pool used by the experiment engine. Deliberately minimal:
+// tasks are submitted up front and `wait()` blocks until the queue drains and
+// every worker is idle. Determinism of the engine does NOT depend on task
+// scheduling — each task writes to its own output slot — so the pool makes no
+// ordering promises beyond running every task exactly once.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace streamflow {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1 required).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins the workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue one task. Tasks must not throw — wrap fallible work and stash
+  /// the exception (see ExperimentRunner).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace streamflow

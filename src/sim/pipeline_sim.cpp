@@ -42,12 +42,7 @@ struct Sampler {
 PipelineSimResult run(const Mapping& mapping, ExecutionModel model,
                       const Sampler& sampler,
                       const PipelineSimOptions& options) {
-  SF_REQUIRE(options.data_sets >= 10, "need at least 10 data sets");
-  SF_REQUIRE(options.warmup_fraction >= 0.0 && options.warmup_fraction < 1.0,
-             "warmup fraction must be in [0, 1)");
-  SF_REQUIRE(options.bandwidth_efficiency > 0.0 &&
-                 options.bandwidth_efficiency <= 1.0,
-             "bandwidth efficiency must be in (0, 1]");
+  options.validate();
 
   const std::size_t n_stages = mapping.num_stages();
   std::vector<std::int64_t> r(n_stages);
@@ -165,11 +160,18 @@ PipelineSimResult run(const Mapping& mapping, ExecutionModel model,
 
 }  // namespace
 
+void PipelineSimOptions::validate() const {
+  SF_REQUIRE(data_sets >= 10, "need at least 10 data sets");
+  SF_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+             "warmup fraction must be in [0, 1)");
+  SF_REQUIRE(bandwidth_efficiency > 0.0 && bandwidth_efficiency <= 1.0,
+             "bandwidth efficiency must be in (0, 1]");
+}
+
 PipelineSimResult simulate_pipeline(const Mapping& mapping,
                                     ExecutionModel model,
-                                    const StochasticTiming& timing,
+                                    const StochasticTiming& timing, Prng& prng,
                                     const PipelineSimOptions& options) {
-  Prng prng(options.seed);
   Sampler sampler;
   sampler.comp = [&mapping, &timing, &prng](std::size_t i, std::int64_t n) {
     const auto& team = mapping.team(i);
@@ -189,10 +191,17 @@ PipelineSimResult simulate_pipeline(const Mapping& mapping,
   return run(mapping, model, sampler, options);
 }
 
+PipelineSimResult simulate_pipeline(const Mapping& mapping,
+                                    ExecutionModel model,
+                                    const StochasticTiming& timing,
+                                    const PipelineSimOptions& options) {
+  Prng prng(options.seed);
+  return simulate_pipeline(mapping, model, timing, prng, options);
+}
+
 PipelineSimResult simulate_pipeline_associated(
     const Mapping& mapping, ExecutionModel model, const Distribution& size_law,
-    const PipelineSimOptions& options, AssociationScope scope) {
-  Prng prng(options.seed);
+    Prng& prng, const PipelineSimOptions& options, AssociationScope scope) {
   const DistributionPtr unit_law = size_law.with_mean(1.0);
   const std::size_t n_stages = mapping.num_stages();
 
@@ -234,6 +243,14 @@ PipelineSimResult simulate_pipeline_associated(
     return size_mult[i] * mapping.comm_time(p, q);
   };
   return run(mapping, model, sampler, options);
+}
+
+PipelineSimResult simulate_pipeline_associated(
+    const Mapping& mapping, ExecutionModel model, const Distribution& size_law,
+    const PipelineSimOptions& options, AssociationScope scope) {
+  Prng prng(options.seed);
+  return simulate_pipeline_associated(mapping, model, size_law, prng, options,
+                                      scope);
 }
 
 }  // namespace streamflow

@@ -30,10 +30,17 @@ struct PipelineSimOptions {
   /// Fraction of data sets discarded as transient before measuring. Zero
   /// reproduces the paper's SimGrid protocol (completed / total time).
   double warmup_fraction = 0.2;
+  /// Seed for the seed-taking simulate overloads; ignored when a Prng is
+  /// injected (the experiment engine derives substreams itself).
   std::uint64_t seed = 42;
   /// Fraction of the nominal bandwidth actually achievable; the paper's
   /// SimGrid runs use 0.92 (communication times are divided by this).
   double bandwidth_efficiency = 1.0;
+
+  /// Rejects out-of-range settings (data_sets < 10, warmup_fraction outside
+  /// [0, 1) — including NaN — or bandwidth_efficiency outside (0, 1]).
+  /// Called by every simulate entry point.
+  void validate() const;
 };
 
 struct PipelineSimResult {
@@ -51,7 +58,15 @@ struct PipelineSimResult {
   double max_latency = 0.0;
 };
 
-/// Independent-case simulation: per-resource I.I.D. laws from `timing`.
+/// Independent-case simulation: per-resource I.I.D. laws from `timing`,
+/// drawing every time from the injected generator — the replication-friendly
+/// core used by the experiment engine. options.seed is ignored here.
+PipelineSimResult simulate_pipeline(const Mapping& mapping,
+                                    ExecutionModel model,
+                                    const StochasticTiming& timing, Prng& prng,
+                                    const PipelineSimOptions& options = {});
+
+/// Convenience overload seeding a fresh generator from options.seed.
 PipelineSimResult simulate_pipeline(const Mapping& mapping,
                                     ExecutionModel model,
                                     const StochasticTiming& timing,
@@ -80,6 +95,13 @@ enum class AssociationScope {
 
 /// Associated-case simulation: multipliers drawn from `size_law` rescaled
 /// to mean 1 and applied to the deterministic times (§6.2, Theorem 8).
+/// options.seed is ignored; the injected generator drives every draw.
+PipelineSimResult simulate_pipeline_associated(
+    const Mapping& mapping, ExecutionModel model, const Distribution& size_law,
+    Prng& prng, const PipelineSimOptions& options = {},
+    AssociationScope scope = AssociationScope::kPerDataSet);
+
+/// Convenience overload seeding a fresh generator from options.seed.
 PipelineSimResult simulate_pipeline_associated(
     const Mapping& mapping, ExecutionModel model, const Distribution& size_law,
     const PipelineSimOptions& options = {},

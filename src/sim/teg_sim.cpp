@@ -49,17 +49,20 @@ std::vector<std::size_t> token_free_topo_order(const TimedEventGraph& graph) {
 
 }  // namespace
 
+void TegSimOptions::validate() const {
+  SF_REQUIRE(rounds >= 10, "need at least 10 rounds");
+  SF_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+             "warmup fraction must be in [0, 1)");
+}
+
 TegSimResult simulate_teg(const TimedEventGraph& graph,
                           const std::vector<DistributionPtr>& laws,
-                          const TegSimOptions& options) {
+                          Prng& prng, const TegSimOptions& options) {
   SF_REQUIRE(laws.size() == graph.num_transitions(),
              "need one law per transition");
-  SF_REQUIRE(options.rounds >= 10, "need at least 10 rounds");
-  SF_REQUIRE(options.warmup_fraction >= 0.0 && options.warmup_fraction < 1.0,
-             "warmup fraction must be in [0, 1)");
+  options.validate();
 
   const std::vector<std::size_t> order = token_free_topo_order(graph);
-  Prng prng(options.seed);
 
   // prev[t] = completion of firing k-1, curr[t] = completion of firing k.
   std::vector<double> prev(graph.num_transitions(), 0.0);
@@ -118,6 +121,13 @@ TegSimResult simulate_teg(const TimedEventGraph& graph,
   result.in_order_throughput =
       min_row_rate * static_cast<double>(last_col.size());
   return result;
+}
+
+TegSimResult simulate_teg(const TimedEventGraph& graph,
+                          const std::vector<DistributionPtr>& laws,
+                          const TegSimOptions& options) {
+  Prng prng(options.seed);
+  return simulate_teg(graph, laws, prng, options);
 }
 
 TegSimResult simulate_teg_deterministic(const TimedEventGraph& graph,

@@ -24,7 +24,13 @@ struct TegSimOptions {
   std::int64_t rounds = 2'000;
   /// Fraction of rounds discarded as transient before measuring.
   double warmup_fraction = 0.2;
+  /// Seed for the seed-taking simulate_teg overload; ignored when a Prng is
+  /// injected (the experiment engine derives substreams itself).
   std::uint64_t seed = 42;
+
+  /// Rejects out-of-range settings (rounds < 10, warmup_fraction outside
+  /// [0, 1) — including NaN). Called by every simulate entry point.
+  void validate() const;
 };
 
 struct TegSimResult {
@@ -47,7 +53,15 @@ struct TegSimResult {
 std::vector<DistributionPtr> transition_laws(const TimedEventGraph& graph,
                                              const StochasticTiming& timing);
 
-/// Simulates the graph with one law per transition.
+/// Simulates the graph with one law per transition, drawing every firing
+/// time from the injected generator — the replication-friendly core: the
+/// experiment engine hands each replication its own substream. options.seed
+/// is ignored here.
+TegSimResult simulate_teg(const TimedEventGraph& graph,
+                          const std::vector<DistributionPtr>& laws,
+                          Prng& prng, const TegSimOptions& options = {});
+
+/// Convenience overload seeding a fresh generator from options.seed.
 TegSimResult simulate_teg(const TimedEventGraph& graph,
                           const std::vector<DistributionPtr>& laws,
                           const TegSimOptions& options = {});

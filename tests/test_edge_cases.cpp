@@ -3,6 +3,8 @@
 // degenerate patterns tend to break.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/analyzer.hpp"
 #include "maxplus/deterministic.hpp"
 #include "sim/pipeline_sim.hpp"
@@ -108,6 +110,46 @@ TEST(EdgeCases, LongChainManyStages) {
   EXPECT_NEAR(det.throughput, 1.0 / comps.back(), 1e-9);
   const auto exp = exponential_throughput(mapping, ExecutionModel::kOverlap);
   EXPECT_NEAR(exp.throughput, 1.0 / comps.back(), 1e-9);
+}
+
+TEST(EdgeCases, SimOptionsRejectOutOfRangeWarmupFraction) {
+  // warmup_fraction must lie in [0, 1). The checks are written so NaN also
+  // fails (every comparison with NaN is false), and validation runs on every
+  // entry point — including the injected-Prng overloads used by the engine.
+  const double bad_fractions[] = {1.0, 1.5, -0.1,
+                                  std::numeric_limits<double>::quiet_NaN(),
+                                  std::numeric_limits<double>::infinity()};
+  for (const double fraction : bad_fractions) {
+    TegSimOptions teg;
+    teg.warmup_fraction = fraction;
+    EXPECT_THROW(teg.validate(), InvalidArgument) << fraction;
+    PipelineSimOptions pipe;
+    pipe.warmup_fraction = fraction;
+    EXPECT_THROW(pipe.validate(), InvalidArgument) << fraction;
+  }
+  // Boundary values that must stay legal.
+  TegSimOptions teg_ok;
+  teg_ok.warmup_fraction = 0.0;
+  EXPECT_NO_THROW(teg_ok.validate());
+  PipelineSimOptions pipe_ok;
+  pipe_ok.warmup_fraction = 0.999;
+  EXPECT_NO_THROW(pipe_ok.validate());
+}
+
+TEST(EdgeCases, InjectedPrngOverloadsValidateOptions) {
+  const Mapping mapping = testing::chain_mapping({1.0, 1.0}, {0.5});
+  const StochasticTiming det = StochasticTiming::deterministic(mapping);
+  const TimedEventGraph g = build_tpn(mapping, ExecutionModel::kOverlap);
+  Prng prng(1);
+  PipelineSimOptions pipe;
+  pipe.warmup_fraction = -0.25;
+  EXPECT_THROW(
+      simulate_pipeline(mapping, ExecutionModel::kOverlap, det, prng, pipe),
+      InvalidArgument);
+  TegSimOptions teg;
+  teg.warmup_fraction = 2.0;
+  EXPECT_THROW(
+      simulate_teg(g, transition_laws(g, det), prng, teg), InvalidArgument);
 }
 
 TEST(EdgeCases, SimulatorsHandleDegenerateShapes) {

@@ -1,0 +1,202 @@
+// Determinism and statistics of the parallel Monte-Carlo experiment engine.
+//
+// The contract under test: ExperimentRunner output is a pure function of
+// (seed, replications, body) — bit-identical for any thread count, equal to
+// a hand-rolled serial loop over the same substreams, with CI half-widths
+// shrinking like 1/sqrt(R).
+#include "engine/experiment_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/sim_replication.hpp"
+#include "engine/stream_factory.hpp"
+#include "test_helpers.hpp"
+#include "tpn/builder.hpp"
+
+namespace streamflow {
+namespace {
+
+/// A cheap stochastic body: mean and max of 1,000 exponential draws.
+std::vector<double> toy_body(Prng& prng, std::size_t /*replication*/) {
+  double sum = 0.0, max = 0.0;
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = prng.exponential(2.0);
+    sum += x;
+    max = std::max(max, x);
+  }
+  return {sum / 1'000.0, max};
+}
+
+ExperimentOptions experiment(std::size_t replications, std::size_t threads,
+                             std::uint64_t seed = 0xFEED) {
+  ExperimentOptions options;
+  options.replications = replications;
+  options.threads = threads;
+  options.seed = seed;
+  return options;
+}
+
+TEST(ExperimentRunner, BitIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> metrics{"mean", "max"};
+  ReplicatedResult reference;
+  for (const std::size_t threads : {1, 2, 8}) {
+    ExperimentRunner runner(experiment(16, threads));
+    const ReplicatedResult result = runner.run(metrics, toy_body);
+    EXPECT_EQ(result.threads_used, std::min<std::size_t>(threads, 16));
+    if (threads == 1) {
+      reference = result;
+      continue;
+    }
+    ASSERT_EQ(result.per_replication.size(),
+              reference.per_replication.size());
+    for (std::size_t k = 0; k < result.per_replication.size(); ++k)
+      EXPECT_EQ(result.per_replication[k], reference.per_replication[k])
+          << "replication " << k << " with " << threads << " threads";
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      // Aggregation is serial in replication order, so summaries are
+      // bit-identical too, not merely close.
+      EXPECT_EQ(result.summaries[m].mean, reference.summaries[m].mean);
+      EXPECT_EQ(result.summaries[m].stddev, reference.summaries[m].stddev);
+      EXPECT_EQ(result.summaries[m].min, reference.summaries[m].min);
+      EXPECT_EQ(result.summaries[m].max, reference.summaries[m].max);
+    }
+  }
+}
+
+TEST(ExperimentRunner, EqualsHandRolledSerialLoopOverSubstreams) {
+  ExperimentRunner runner(experiment(12, 4, 777));
+  const ReplicatedResult result = runner.run({"mean", "max"}, toy_body);
+
+  StreamFactory factory(777);
+  for (std::size_t k = 0; k < 12; ++k) {
+    Prng prng = factory.stream(k);
+    const std::vector<double> expected = toy_body(prng, k);
+    EXPECT_EQ(result.per_replication[k], expected) << "replication " << k;
+  }
+}
+
+TEST(ExperimentRunner, SmallerRunIsAPrefixOfALargerOne) {
+  // Replication k always consumes substream k, so shrinking R keeps the
+  // surviving rows bit-identical — experiments can be extended without
+  // invalidating earlier replications.
+  ExperimentRunner small(experiment(4, 2));
+  ExperimentRunner large(experiment(16, 8));
+  const ReplicatedResult a = small.run({"mean", "max"}, toy_body);
+  const ReplicatedResult b = large.run({"mean", "max"}, toy_body);
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_EQ(a.per_replication[k], b.per_replication[k]);
+}
+
+TEST(ExperimentRunner, CiHalfWidthShrinksLikeOneOverSqrtR) {
+  // The stddev estimate is very noisy at R = 4 (relative error ~40%), so
+  // average the CI half-width over several independent experiment seeds
+  // before checking the 1/sqrt(R) law.
+  const std::vector<std::string> metrics{"mean", "max"};
+  std::vector<double> ci;
+  for (const std::size_t r : {4, 16, 64}) {
+    double total = 0.0;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      ExperimentRunner runner(experiment(r, 0, 0xC1 + seed));
+      total += runner.run(metrics, toy_body).metric("mean").ci95_halfwidth;
+    }
+    ci.push_back(total / 8.0);
+  }
+  EXPECT_LT(ci[1], ci[0]);
+  EXPECT_LT(ci[2], ci[1]);
+  // Each 16x increase in R shrinks the averaged CI by about sqrt(16) = 4.
+  const double shrink = ci[0] / ci[2];
+  EXPECT_GT(shrink, 2.5);
+  EXPECT_LT(shrink, 6.5);
+}
+
+TEST(ExperimentRunner, PipelineReplicasBitIdenticalAcrossThreadCounts) {
+  const Mapping mapping = testing::replicated_chain_mapping(2, 3, 2, 4.0, 2.0);
+  const StochasticTiming timing = StochasticTiming::exponential(mapping);
+  PipelineSimOptions sim;
+  sim.data_sets = 2'000;
+
+  ReplicatedResult reference;
+  for (const std::size_t threads : {1, 2, 8}) {
+    const ReplicatedResult result = run_replicated_pipeline(
+        mapping, ExecutionModel::kOverlap, timing, sim,
+        experiment(8, threads, 0xABCD));
+    if (threads == 1) {
+      reference = result;
+      continue;
+    }
+    for (std::size_t k = 0; k < 8; ++k)
+      EXPECT_EQ(result.per_replication[k], reference.per_replication[k])
+          << "replication " << k << " with " << threads << " threads";
+  }
+  // And the parallel result equals serial injected-Prng simulation calls.
+  StreamFactory factory(0xABCD);
+  for (std::size_t k = 0; k < 8; ++k) {
+    Prng prng = factory.stream(k);
+    const PipelineSimResult expected = simulate_pipeline(
+        mapping, ExecutionModel::kOverlap, timing, prng, sim);
+    EXPECT_EQ(reference.per_replication[k][0], expected.throughput);
+    EXPECT_EQ(reference.per_replication[k][4], expected.makespan);
+  }
+}
+
+TEST(ExperimentRunner, TegReplicasBitIdenticalAcrossThreadCounts) {
+  const Mapping mapping = testing::replicated_chain_mapping(1, 2, 1, 2.0, 1.0);
+  const TimedEventGraph graph = build_tpn(mapping, ExecutionModel::kOverlap);
+  const StochasticTiming timing = StochasticTiming::exponential(mapping);
+  const std::vector<DistributionPtr> laws = transition_laws(graph, timing);
+  TegSimOptions sim;
+  sim.rounds = 500;
+
+  ReplicatedResult reference;
+  for (const std::size_t threads : {1, 2, 8}) {
+    const ReplicatedResult result = run_replicated_teg(
+        graph, laws, sim, experiment(8, threads, 0xBEE));
+    if (threads == 1) {
+      reference = result;
+      continue;
+    }
+    for (std::size_t k = 0; k < 8; ++k)
+      EXPECT_EQ(result.per_replication[k], reference.per_replication[k])
+          << "replication " << k << " with " << threads << " threads";
+  }
+}
+
+TEST(ExperimentRunner, Validation) {
+  ExperimentOptions zero_replications;
+  zero_replications.replications = 0;
+  EXPECT_THROW(ExperimentRunner{zero_replications}, InvalidArgument);
+
+  ExperimentRunner runner{experiment(4, 2)};
+  EXPECT_THROW(runner.run({}, toy_body), InvalidArgument);
+  EXPECT_THROW(runner.run({"mean"}, ReplicationBody{}), InvalidArgument);
+  // A body returning the wrong row width is rejected.
+  EXPECT_THROW(
+      runner.run({"a", "b", "c"},
+                 [](Prng&, std::size_t) { return std::vector<double>{1.0}; }),
+      InvalidArgument);
+}
+
+TEST(ExperimentRunner, WorkerExceptionsPropagateToCaller) {
+  ExperimentRunner runner(experiment(8, 4));
+  EXPECT_THROW(runner.run({"x"},
+                          [](Prng& prng, std::size_t k) -> std::vector<double> {
+                            if (k == 5) throw NumericalError("boom in worker");
+                            return {prng.uniform01()};
+                          }),
+               NumericalError);
+}
+
+TEST(ExperimentRunner, InvalidSimOptionsFailBeforeFanOut) {
+  const Mapping mapping = testing::chain_mapping({1.0}, {});
+  const StochasticTiming timing = StochasticTiming::deterministic(mapping);
+  PipelineSimOptions bad;
+  bad.warmup_fraction = 1.5;
+  EXPECT_THROW(run_replicated_pipeline(mapping, ExecutionModel::kOverlap,
+                                       timing, bad, experiment(4, 2)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace streamflow

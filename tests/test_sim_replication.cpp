@@ -1,0 +1,143 @@
+// Statistical honesty of replicated simulations on the Fig 15 (§7.5)
+// exp-vs-det scenario: a single u x v communication where randomness hurts
+// most (rho_exp / rho_det = max(u,v) / (u+v-1)). Replicated means must agree
+// with one long run, and Theorem 7's sandwich rho_exp <= rho <= rho_det must
+// hold for EVERY replication of an N.B.U.E. law, not just on average.
+#include "engine/sim_replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/analyzer.hpp"
+#include "test_helpers.hpp"
+#include "tpn/builder.hpp"
+
+namespace streamflow {
+namespace {
+
+// u = 4 senders, v = 3 receivers (gcd 1), unit communication time: the
+// middle of Fig 15's sweep.
+const Mapping& fig15_mapping() {
+  static const Mapping mapping = testing::single_comm_mapping(4, 3, 1.0);
+  return mapping;
+}
+
+ExperimentOptions experiment(std::size_t replications,
+                             std::uint64_t seed = 0xF15) {
+  ExperimentOptions options;
+  options.replications = replications;
+  options.threads = 0;  // all cores
+  options.seed = seed;
+  return options;
+}
+
+TEST(SimReplication, PipelineMeanMatchesOneLongRun) {
+  const Mapping& mapping = fig15_mapping();
+  const StochasticTiming exp = StochasticTiming::exponential(mapping);
+
+  PipelineSimOptions sim;
+  sim.data_sets = 20'000;
+  const ReplicatedResult replicated = run_replicated_pipeline(
+      mapping, ExecutionModel::kOverlap, exp, sim, experiment(8));
+  const MetricSummary& throughput = replicated.metric("throughput");
+
+  PipelineSimOptions long_run;
+  long_run.data_sets = 200'000;
+  long_run.seed = 9090;
+  const double reference =
+      simulate_pipeline(mapping, ExecutionModel::kOverlap, exp, long_run)
+          .throughput;
+
+  // The long run is itself noisy, so allow its own ~1% on top of the CI.
+  EXPECT_NEAR(throughput.mean, reference,
+              throughput.ci95_halfwidth + 0.01 * reference);
+  EXPECT_GT(throughput.ci95_halfwidth, 0.0);
+  EXPECT_LE(throughput.min, throughput.mean);
+  EXPECT_LE(throughput.mean, throughput.max);
+}
+
+TEST(SimReplication, TegMeanAgreesWithPipelineMean) {
+  // §7.4 fidelity, replicated: the TPN simulator and the direct simulator
+  // are independent implementations of the same semantics.
+  const Mapping& mapping = fig15_mapping();
+  const StochasticTiming exp = StochasticTiming::exponential(mapping);
+  const TimedEventGraph graph = build_tpn(mapping, ExecutionModel::kOverlap);
+
+  TegSimOptions teg;
+  teg.rounds = 3'000;
+  const ReplicatedResult teg_runs = run_replicated_teg(
+      graph, transition_laws(graph, exp), teg, experiment(8));
+
+  PipelineSimOptions pipe;
+  pipe.data_sets = 30'000;
+  const ReplicatedResult pipe_runs = run_replicated_pipeline(
+      mapping, ExecutionModel::kOverlap, exp, pipe, experiment(8, 0xF16));
+
+  EXPECT_LT(relative_difference(teg_runs.metric("throughput").mean,
+                                pipe_runs.metric("throughput").mean),
+            0.03);
+}
+
+TEST(SimReplication, Theorem7SandwichHoldsPerReplication) {
+  const Mapping& mapping = fig15_mapping();
+  const NbueBounds bounds =
+      nbue_throughput_bounds(mapping, ExecutionModel::kOverlap);
+  ASSERT_LT(bounds.lower, bounds.upper);  // randomness genuinely hurts here
+
+  // gamma(shape 2) is N.B.U.E. and sits strictly between exponential and
+  // constant; every replication — not just the mean — must land inside the
+  // sandwich (up to finite-run noise).
+  const StochasticTiming gamma_timing =
+      StochasticTiming::scaled(mapping, *parse_distribution("gamma:2,1"));
+  PipelineSimOptions sim;
+  sim.data_sets = 30'000;
+  const ReplicatedResult replicated = run_replicated_pipeline(
+      mapping, ExecutionModel::kOverlap, gamma_timing, sim, experiment(12));
+
+  const std::vector<double> throughputs = replicated.column("throughput");
+  ASSERT_EQ(throughputs.size(), 12u);
+  for (std::size_t k = 0; k < throughputs.size(); ++k) {
+    EXPECT_GE(throughputs[k], bounds.lower * 0.97) << "replication " << k;
+    EXPECT_LE(throughputs[k], bounds.upper * 1.03) << "replication " << k;
+  }
+  // The mean sits strictly inside, away from both walls.
+  const double mean = replicated.metric("throughput").mean;
+  EXPECT_GT(mean, bounds.lower);
+  EXPECT_LT(mean, bounds.upper);
+}
+
+TEST(SimReplication, ExponentialReplicationsSitAtTheLowerWall) {
+  // With exponential laws the N.B.U.E. lower bound is the exact throughput:
+  // each replication must track it within simulation noise.
+  const Mapping& mapping = fig15_mapping();
+  const NbueBounds bounds =
+      nbue_throughput_bounds(mapping, ExecutionModel::kOverlap);
+  PipelineSimOptions sim;
+  sim.data_sets = 30'000;
+  const ReplicatedResult replicated = run_replicated_pipeline(
+      mapping, ExecutionModel::kOverlap,
+      StochasticTiming::exponential(mapping), sim, experiment(8, 0xF17));
+  for (const double throughput : replicated.column("throughput"))
+    EXPECT_LT(relative_difference(throughput, bounds.lower), 0.04);
+}
+
+TEST(SimReplication, TegSandwichHoldsPerReplication) {
+  const Mapping& mapping = fig15_mapping();
+  const NbueBounds bounds =
+      nbue_throughput_bounds(mapping, ExecutionModel::kOverlap);
+  const TimedEventGraph graph = build_tpn(mapping, ExecutionModel::kOverlap);
+  const StochasticTiming gamma_timing =
+      StochasticTiming::scaled(mapping, *parse_distribution("gamma:2,1"));
+
+  TegSimOptions sim;
+  sim.rounds = 4'000;
+  const ReplicatedResult replicated = run_replicated_teg(
+      graph, transition_laws(graph, gamma_timing), sim, experiment(12, 0xF18));
+  for (const double throughput : replicated.column("throughput")) {
+    EXPECT_GE(throughput, bounds.lower * 0.97);
+    EXPECT_LE(throughput, bounds.upper * 1.03);
+  }
+}
+
+}  // namespace
+}  // namespace streamflow

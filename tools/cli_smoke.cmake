@@ -51,4 +51,21 @@ if(NOT dot_out MATCHES "digraph")
   message(FATAL_ERROR "export-tpn did not emit DOT:\n${dot_out}")
 endif()
 
+# Replicated simulate: must report statistics, and the numbers must be
+# bit-identical for any --threads (only the reported worker count differs).
+run_cli(0 rep1_out simulate "${instance}" --law exp:1 --data-sets 2000
+        --seed 7 --replications 6 --threads 1)
+run_cli(0 rep4_out simulate "${instance}" --law exp:1 --data-sets 2000
+        --seed 7 --replications 6 --threads 4)
+if(NOT rep1_out MATCHES "95% CI" OR NOT rep1_out MATCHES "per-replication")
+  message(FATAL_ERROR "replicated simulate output incomplete:\n${rep1_out}")
+endif()
+string(REGEX REPLACE "on [0-9]+ thread" "on N thread" rep1_norm "${rep1_out}")
+string(REGEX REPLACE "on [0-9]+ thread" "on N thread" rep4_norm "${rep4_out}")
+if(NOT rep1_norm STREQUAL rep4_norm)
+  message(FATAL_ERROR "replicated simulate is not deterministic across "
+                      "--threads:\n--- 1 thread ---\n${rep1_out}\n"
+                      "--- 4 threads ---\n${rep4_out}")
+endif()
+
 message(STATUS "cli_smoke passed")

@@ -4,17 +4,24 @@
 //   streamflow analyze <instance-file> [--model overlap|strict]
 //   streamflow simulate <instance-file> [--model overlap|strict]
 //                        [--law <spec>] [--data-sets N] [--seed S]
+//                        [--replications R] [--threads T]
 //   streamflow export-tpn <instance-file> [--model overlap|strict]  # DOT
 //   streamflow example > my.instance                                # template
 //
 // Instance files use the format of model/serialization.hpp. Law specs follow
 // dist/distribution.hpp's parse_distribution ("exp:1", "gauss:10,2", ...).
+// With --replications R > 1 the simulation runs R times on a thread pool,
+// each replication on its own jump-ahead PRNG substream of --seed, and the
+// report gains mean/stddev/95% CI statistics. Results are bit-identical for
+// every --threads value (see README, "Replicated experiments").
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <type_traits>
 
+#include "common/table.hpp"
 #include "core/analyzer.hpp"
+#include "engine/sim_replication.hpp"
 #include "model/serialization.hpp"
 #include "sim/pipeline_sim.hpp"
 #include "tpn/builder.hpp"
@@ -28,9 +35,15 @@ void print_usage(std::ostream& out) {
       << "  streamflow analyze <instance> [--model overlap|strict]\n"
       << "  streamflow simulate <instance> [--model overlap|strict]\n"
       << "             [--law <spec>] [--data-sets N] [--seed S]\n"
+      << "             [--replications R] [--threads T]\n"
       << "  streamflow export-tpn <instance> [--model overlap|strict]\n"
       << "  streamflow example\n"
-      << "  streamflow help | --help\n";
+      << "  streamflow help | --help\n"
+      << "\n"
+      << "simulate with --replications R > 1 runs R independent replications\n"
+      << "on a thread pool (--threads T, 0 = all cores) and reports mean,\n"
+      << "stddev, and 95% CI; replication k always uses PRNG substream k of\n"
+      << "--seed, so results are bit-identical for every T.\n";
 }
 
 int usage() {
@@ -45,6 +58,8 @@ struct CliArgs {
   std::string law = "exp:1";  // rescaled per resource to its mean
   std::int64_t data_sets = 50'000;
   std::uint64_t seed = 42;
+  std::size_t replications = 1;
+  std::size_t threads = 0;  // 0 = hardware concurrency
 };
 
 /// Strict integer parse: the whole token must be consumed (rejects "1e6",
@@ -97,6 +112,15 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
     } else if (a == "--seed") {
       const char* v = next();
       if (!v || !parse_integer(v, args.seed)) return false;
+    } else if (a == "--replications") {
+      const char* v = next();
+      if (!v || !parse_integer(v, args.replications) ||
+          args.replications == 0) {
+        return false;
+      }
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v || !parse_integer(v, args.threads)) return false;
     } else if (!a.empty() && a[0] != '-' && positional == 0) {
       args.instance_path = a;
       ++positional;
@@ -155,14 +179,51 @@ int cmd_simulate(const CliArgs& args) {
   PipelineSimOptions options;
   options.data_sets = args.data_sets;
   options.seed = args.seed;
-  const auto r = simulate_pipeline(mapping, args.model, timing, options);
   std::cout << "law            : " << law->name() << " (rescaled per resource)"
             << (timing.all_nbue() ? ", N.B.U.E." : ", NOT N.B.U.E.") << "\n";
-  std::cout << "throughput     : " << r.throughput << "\n";
-  std::cout << "in-order rate  : " << r.in_order_throughput << "\n";
-  std::cout << "mean latency   : " << r.mean_latency << "\n";
-  std::cout << "completed      : " << r.completed << " data sets in "
-            << r.elapsed << " time units\n";
+
+  if (args.replications <= 1) {
+    const auto r = simulate_pipeline(mapping, args.model, timing, options);
+    std::cout << "throughput     : " << r.throughput << "\n";
+    std::cout << "in-order rate  : " << r.in_order_throughput << "\n";
+    std::cout << "mean latency   : " << r.mean_latency << "\n";
+    std::cout << "completed      : " << r.completed << " data sets in "
+              << r.elapsed << " time units\n";
+    return 0;
+  }
+
+  ExperimentOptions experiment;
+  experiment.replications = args.replications;
+  experiment.threads = args.threads;
+  experiment.seed = args.seed;
+  const ReplicatedResult r =
+      run_replicated_pipeline(mapping, args.model, timing, options, experiment);
+  const MetricSummary& throughput = r.metric("throughput");
+  std::cout << "replications   : " << r.replications << " x "
+            << args.data_sets << " data sets on " << r.threads_used
+            << " thread(s), seed " << r.seed
+            << " (bit-identical for any --threads)\n";
+  std::cout << "throughput     : " << throughput.mean << " +/- "
+            << throughput.ci95_halfwidth << " (95% CI)\n";
+  std::cout << "  stddev       : " << throughput.stddev << "\n";
+  std::cout << "  min / max    : " << throughput.min << " / " << throughput.max
+            << "\n";
+  std::cout << "in-order rate  : " << r.metric("in_order_throughput").mean
+            << "\n";
+  std::cout << "mean latency   : " << r.metric("mean_latency").mean << "\n\n";
+
+  Table table({"replication", "throughput", "in-order", "mean latency",
+               "completed"});
+  table.set_precision(6);
+  const std::vector<double> tput = r.column("throughput");
+  const std::vector<double> in_order = r.column("in_order_throughput");
+  const std::vector<double> latency = r.column("mean_latency");
+  const std::vector<double> completed = r.column("completed");
+  for (std::size_t k = 0; k < r.replications; ++k) {
+    table.add_row({static_cast<std::int64_t>(k), tput[k], in_order[k],
+                   latency[k], static_cast<std::int64_t>(completed[k])});
+  }
+  table.print(std::cout, "per-replication results");
   return 0;
 }
 
