@@ -1,0 +1,182 @@
+// Mapping-search evaluation throughput: shared AnalysisContext versus the
+// throwaway-context baseline.
+//
+// The workload models what local search actually does: repeated sweeps over
+// the migrate/swap neighbourhood of a base mapping (every sweep re-probes
+// nearly the same candidates). The baseline path evaluates each candidate
+// with the free exponential_throughput() (a fresh context every time, so
+// every communication pattern is re-solved on its Young-diagram CTMC); the
+// cached path evaluates the same candidates through one AnalysisContext via
+// evaluate_move (untouched columns reused from the base, touched patterns
+// answered from the cache after the first sweep). Scores are checked
+// bit-identical between the two paths, and the shape check asserts the
+// >= 3x evaluations/sec speedup the caching layer exists for.
+//
+//   ./build/bench_search_throughput [--csv] [--quick]
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/prng.hpp"
+#include "common/table.hpp"
+#include "core/analysis_context.hpp"
+#include "core/analyzer.hpp"
+#include "core/heuristics.hpp"
+
+namespace {
+
+using namespace streamflow;
+
+/// 5-stage pipeline with replications (2, 3, 4, 3, 2) on 14 processors and
+/// a fully heterogeneous network: every pattern solve is a real CTMC solve
+/// (states up to S(3,4) = 60), like the hard instances of Section 7.
+Mapping default_instance() {
+  Application app({2.0, 9.0, 8.0, 4.5, 1.5}, {3.0, 2.0, 1.0, 0.5});
+  std::vector<double> speeds{2.5, 1.0, 1.4, 1.8, 0.7, 2.2, 1.3,
+                             0.9, 1.6, 1.1, 2.0, 0.8, 1.7, 1.2};
+  Platform platform = Platform::fully_connected(speeds, 4.0);
+  Prng prng(12345);
+  for (std::size_t p = 0; p < speeds.size(); ++p) {
+    for (std::size_t q = p + 1; q < speeds.size(); ++q) {
+      platform.set_bandwidth(p, q, 2.0 + 4.0 * prng.uniform01());
+    }
+  }
+  return Mapping(app, platform,
+                 {{0, 1}, {2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11}, {12, 13}});
+}
+
+std::vector<MappingMove> neighbourhood(const Mapping& base) {
+  const std::size_t n = base.num_stages();
+  const std::size_t m = base.num_processors();
+  std::vector<MappingMove> moves;
+  for (std::size_t p = 0; p < m; ++p) {
+    for (std::size_t i = 0; i <= n; ++i) {
+      const std::size_t target = i == n ? Mapping::kUnused : i;
+      if (target == base.stage_of(p)) continue;
+      moves.push_back(MappingMove::migrate(p, target));
+    }
+  }
+  for (std::size_t p = 0; p < m; ++p) {
+    for (std::size_t q = p + 1; q < m; ++q) {
+      if (base.stage_of(p) == base.stage_of(q)) continue;
+      moves.push_back(MappingMove::swap(p, q));
+    }
+  }
+  return moves;
+}
+
+/// Baseline: rebuild the candidate and solve every pattern from scratch.
+std::optional<double> evaluate_throwaway(const Mapping& base,
+                                         const MappingMove& move,
+                                         const MappingSearchOptions& options) {
+  std::vector<std::size_t> assignment(base.num_processors());
+  for (std::size_t p = 0; p < base.num_processors(); ++p)
+    assignment[p] = base.stage_of(p);
+  if (move.kind == MappingMove::Kind::kMigrate) {
+    assignment[move.p] = move.target;
+  } else {
+    std::swap(assignment[move.p], assignment[move.q]);
+  }
+  std::vector<std::vector<std::size_t>> teams(base.num_stages());
+  for (std::size_t p = 0; p < assignment.size(); ++p) {
+    if (assignment[p] != Mapping::kUnused) teams[assignment[p]].push_back(p);
+  }
+  for (const auto& team : teams) {
+    if (team.empty()) return std::nullopt;
+  }
+  try {
+    Mapping mapping(base.application(), base.platform(), teams);
+    if (mapping.num_paths() > options.max_paths) return std::nullopt;
+    return exponential_throughput(mapping, options.model).throughput;
+  } catch (const InvalidArgument&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using streamflow::bench::BenchArgs;
+  using streamflow::bench::Stopwatch;
+
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  // The cached path amortizes its first-sweep solves over the later sweeps,
+  // so too few sweeps understate the steady-state speedup local search sees.
+  const std::size_t sweeps = args.quick ? 3 : 4;
+
+  const Mapping base = default_instance();
+  const std::vector<MappingMove> moves = neighbourhood(base);
+  MappingSearchOptions options;  // exponential objective, Overlap model
+
+  // Throwaway-context baseline (the pre-context analysis path).
+  std::vector<std::optional<double>> baseline_scores;
+  baseline_scores.reserve(sweeps * moves.size());
+  Stopwatch baseline_watch;
+  for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+    for (const MappingMove& move : moves) {
+      baseline_scores.push_back(evaluate_throwaway(base, move, options));
+    }
+  }
+  const double baseline_seconds = baseline_watch.seconds();
+
+  // Shared-context incremental path.
+  AnalysisContext context;
+  context.set_base(base, options);
+  std::vector<std::optional<double>> cached_scores;
+  cached_scores.reserve(sweeps * moves.size());
+  Stopwatch cached_watch;
+  for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+    for (const MappingMove& move : moves) {
+      cached_scores.push_back(context.evaluate_move(move));
+    }
+  }
+  const double cached_seconds = cached_watch.seconds();
+
+  std::size_t mismatches = 0;
+  std::size_t feasible = 0;
+  for (std::size_t k = 0; k < baseline_scores.size(); ++k) {
+    if (baseline_scores[k].has_value() != cached_scores[k].has_value() ||
+        (baseline_scores[k] && *baseline_scores[k] != *cached_scores[k])) {
+      ++mismatches;
+    }
+    if (baseline_scores[k]) ++feasible;
+  }
+
+  const double evaluations = static_cast<double>(sweeps * moves.size());
+  const double baseline_rate = evaluations / baseline_seconds;
+  const double cached_rate = evaluations / cached_seconds;
+  const double speedup = cached_rate / baseline_rate;
+
+  streamflow::Table table({"path", "evaluations", "seconds", "evals/sec"});
+  table.set_precision(4);
+  table.add_row({std::string("throwaway context"),
+                 static_cast<std::int64_t>(evaluations), baseline_seconds,
+                 baseline_rate});
+  table.add_row({std::string("shared AnalysisContext"),
+                 static_cast<std::int64_t>(evaluations), cached_seconds,
+                 cached_rate});
+  streamflow::bench::emit(table,
+                          "mapping-candidate evaluation throughput (" +
+                              std::to_string(sweeps) + " sweeps x " +
+                              std::to_string(moves.size()) + " moves, " +
+                              std::to_string(feasible) + " feasible)",
+                          args);
+
+  const streamflow::AnalysisCacheStats& stats = context.stats();
+  std::cout << "\ncache: " << stats.pattern_misses << " pattern solves, "
+            << stats.pattern_hits << " hits, " << stats.columns_reused
+            << " columns reused / " << stats.columns_recomputed
+            << " recomputed\n";
+  std::cout << "speedup: " << speedup << "x\n\n";
+
+  streamflow::bench::shape_check(
+      mismatches == 0,
+      "cached/incremental scores bit-identical to the throwaway path (" +
+          std::to_string(mismatches) + " mismatches)");
+  streamflow::bench::shape_check(
+      speedup >= 3.0,
+      "shared context >= 3x evaluations/sec vs throwaway contexts (got " +
+          std::to_string(speedup) + "x)");
+  return 0;
+}

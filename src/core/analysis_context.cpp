@@ -1,0 +1,380 @@
+#include "core/analysis_context.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "maxplus/deterministic.hpp"
+#include "tpn/builder.hpp"
+#include "young/pattern_analysis.hpp"
+
+namespace streamflow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string component_label(std::size_t file_index, std::size_t component,
+                            std::size_t u, std::size_t v) {
+  std::ostringstream os;
+  os << "F" << (file_index + 1) << "#" << component << " (" << u << "x" << v
+     << ")";
+  return os.str();
+}
+
+}  // namespace
+
+AnalysisContext::AnalysisContext(ExponentialOptions options)
+    : options_(options) {}
+
+const Mapping& AnalysisContext::base_mapping() const {
+  SF_REQUIRE(base_mapping_.has_value(), "no base mapping pinned");
+  return *base_mapping_;
+}
+
+double AnalysisContext::base_score() const {
+  SF_REQUIRE(base_mapping_.has_value(), "no base mapping pinned");
+  return base_score_;
+}
+
+void AnalysisContext::clear() {
+  stats_ = AnalysisCacheStats{};
+  pattern_cache_.clear();
+  base_mapping_.reset();
+  base_assignment_.clear();
+  base_columns_.clear();
+  scratch_valid_ = false;
+  scratch_mapping_.reset();
+}
+
+double AnalysisContext::pattern_rate(const CommPattern& pattern) {
+  if (pattern.homogeneous()) {
+    ++stats_.closed_form;
+    return pattern_flow_exponential_homogeneous(
+        pattern.u, pattern.v, 1.0 / pattern.durations.front());
+  }
+  PatternSignature signature = pattern_signature(pattern);
+  const auto it = pattern_cache_.find(signature);
+  if (it != pattern_cache_.end()) {
+    ++stats_.pattern_hits;
+    return it->second;
+  }
+  const double rate =
+      pattern_flow_exponential(pattern, options_.max_states).inner_flow;
+  ++stats_.pattern_misses;
+  pattern_cache_.emplace(std::move(signature), rate);
+  return rate;
+}
+
+AnalysisContext::SolvedColumn AnalysisContext::solve_column(
+    const Mapping& mapping, std::size_t file_index) {
+  SolvedColumn column;
+  std::vector<CommPattern> patterns = comm_patterns(mapping, file_index);
+  column.g = patterns.front().g;
+  column.comps.reserve(patterns.size());
+  for (CommPattern& pattern : patterns) {
+    SolvedComponent comp;
+    comp.inner = pattern_rate(pattern);
+    comp.u = pattern.u;
+    comp.v = pattern.v;
+    comp.g = pattern.g;
+    comp.file_index = pattern.file_index;
+    comp.component = pattern.component;
+    comp.senders = std::move(pattern.senders);
+    column.comps.push_back(std::move(comp));
+  }
+  return column;
+}
+
+void AnalysisContext::solve_all_columns(const Mapping& mapping,
+                                        std::vector<SolvedColumn>& out) {
+  const std::size_t n = mapping.num_stages();
+  out.clear();
+  out.reserve(n == 0 ? 0 : n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    out.push_back(solve_column(mapping, i));
+}
+
+void AnalysisContext::evaluate_columns(const Mapping& mapping,
+                                       std::vector<SolvedColumn>& columns,
+                                       bool want_components,
+                                       ExponentialThroughput& out) {
+  solve_all_columns(mapping, columns);
+  column_ptrs_.clear();
+  for (const SolvedColumn& column : columns)
+    column_ptrs_.push_back(&column);
+  compose(mapping, column_ptrs_, want_components, out);
+}
+
+void AnalysisContext::compose(const Mapping& mapping,
+                              const std::vector<const SolvedColumn*>& columns,
+                              bool want_components,
+                              ExponentialThroughput& out) {
+  out.method_used = ExponentialMethod::kColumns;
+  const std::size_t n = mapping.num_stages();
+
+  // Effective personal completion rate of each processor of the current
+  // stage (data sets it finishes per time unit, upstream included).
+  eff_.assign(mapping.num_processors(), 0.0);
+
+  // Equalized (in-order) cap: min over ALL components of the throughput the
+  // whole system could sustain if that component were the only constraint
+  // (processor p of stage i: R_i * lambda_p; communication pattern: g *
+  // inner flow). Every component is an ancestor of some output row, so the
+  // slowest one paces the ordered stream.
+  double in_order = kInf;
+
+  // Stage 0: saturated sources.
+  for (std::size_t p : mapping.team(0)) {
+    eff_[p] = 1.0 / mapping.comp_time(p);  // exponential rate = 1 / mean
+    in_order = std::min(
+        in_order, eff_[p] * static_cast<double>(mapping.replication(0)));
+    if (want_components) {
+      out.components.push_back(ComponentInfo{
+          "T1/P" + std::to_string(p), eff_[p], eff_[p], false});
+    }
+  }
+
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const SolvedColumn& column = *columns[i];
+    flow_.assign(column.comps.size(), 0.0);
+    for (std::size_t c = 0; c < column.comps.size(); ++c) {
+      const SolvedComponent& comp = column.comps[c];
+      const double inner = comp.inner;
+      // Conservation + saturation: the round-robin equalizes the per-link
+      // frequency, so the slowest of the u senders paces the whole pattern.
+      double sender_cap = kInf;
+      for (std::size_t p : comp.senders)
+        sender_cap = std::min(sender_cap, eff_[p]);
+      sender_cap *= static_cast<double>(comp.u);
+      flow_[c] = std::min(inner, sender_cap);
+      in_order = std::min(in_order, inner * static_cast<double>(comp.g));
+      if (want_components) {
+        out.components.push_back(ComponentInfo{
+            component_label(comp.file_index, comp.component, comp.u, comp.v),
+            inner, flow_[c], flow_[c] < inner});
+      }
+    }
+    // Receivers of stage i+1 draw flow / v each.
+    const std::size_t g = column.g;
+    for (std::size_t b = 0; b < mapping.team(i + 1).size(); ++b) {
+      const std::size_t q = mapping.team(i + 1)[b];
+      const SolvedComponent& comp = column.comps[b % g];
+      const double arrival = flow_[b % g] / static_cast<double>(comp.v);
+      const double inner = 1.0 / mapping.comp_time(q);
+      eff_[q] = std::min(inner, arrival);
+      in_order = std::min(
+          in_order, inner * static_cast<double>(mapping.replication(i + 1)));
+      if (want_components) {
+        out.components.push_back(ComponentInfo{
+            "T" + std::to_string(i + 2) + "/P" + std::to_string(q), inner,
+            eff_[q], eff_[q] < inner});
+      }
+    }
+  }
+
+  double total = 0.0;
+  for (std::size_t q : mapping.team(n - 1)) total += eff_[q];
+  out.throughput = total;
+  out.in_order_throughput = std::min(in_order, total);
+}
+
+ExponentialThroughput AnalysisContext::exponential(const Mapping& mapping,
+                                                   ExecutionModel model) {
+  ExponentialMethod method = options_.method;
+  if (method == ExponentialMethod::kAuto) {
+    method = model == ExecutionModel::kOverlap
+                 ? ExponentialMethod::kColumns
+                 : ExponentialMethod::kGeneralCtmc;
+  }
+  if (method == ExponentialMethod::kColumns) {
+    SF_REQUIRE(model == ExecutionModel::kOverlap,
+               "the column decomposition (Theorem 3) applies to the Overlap "
+               "model only; use kGeneralCtmc for Strict");
+    ExponentialThroughput result;
+    evaluate_columns(mapping, full_columns_, /*want_components=*/true, result);
+    return result;
+  }
+  return detail::general_ctmc_throughput(mapping, model, options_);
+}
+
+void AnalysisContext::check_objective(const Mapping& mapping,
+                                      const MappingSearchOptions& options) {
+  (void)mapping;
+  if (options.objective == MappingObjective::kExponential) {
+    SF_REQUIRE(options.model == ExecutionModel::kOverlap,
+               "the exponential objective uses the column method, which "
+               "applies to the Overlap model only");
+  }
+}
+
+double AnalysisContext::objective_uncounted(
+    const Mapping& mapping, const MappingSearchOptions& options) {
+  check_objective(mapping, options);
+  if (options.objective == MappingObjective::kDeterministic) {
+    TpnBuildOptions build;
+    build.max_rows = options.max_paths;
+    return deterministic_throughput(mapping, options.model, build).throughput;
+  }
+  ExponentialThroughput result;
+  evaluate_columns(mapping, full_columns_, /*want_components=*/false, result);
+  return result.throughput;
+}
+
+double AnalysisContext::objective(const Mapping& mapping,
+                                  const MappingSearchOptions& options) {
+  const double score = objective_uncounted(mapping, options);
+  ++stats_.evaluations;
+  return score;
+}
+
+double AnalysisContext::set_base(Mapping mapping,
+                                 const MappingSearchOptions& options,
+                                 bool count_evaluation) {
+  check_objective(mapping, options);
+  for (std::size_t i = 0; i < mapping.num_stages(); ++i) {
+    const auto& team = mapping.team(i);
+    SF_REQUIRE(std::is_sorted(team.begin(), team.end()) &&
+                   std::adjacent_find(team.begin(), team.end()) == team.end(),
+               "set_base requires teams in strictly increasing processor "
+               "order (the search normal form)");
+  }
+  base_assignment_.assign(mapping.num_processors(), Mapping::kUnused);
+  for (std::size_t p = 0; p < mapping.num_processors(); ++p)
+    base_assignment_[p] = mapping.stage_of(p);
+
+  double score;
+  if (options.objective == MappingObjective::kDeterministic) {
+    base_columns_.clear();
+    TpnBuildOptions build;
+    build.max_rows = options.max_paths;
+    score = deterministic_throughput(mapping, options.model, build).throughput;
+  } else {
+    ExponentialThroughput result;
+    evaluate_columns(mapping, base_columns_, /*want_components=*/false, result);
+    score = result.throughput;
+  }
+
+  base_mapping_ = std::move(mapping);
+  base_options_ = options;
+  base_score_ = score;
+  scratch_valid_ = false;
+  if (count_evaluation) ++stats_.evaluations;
+  return score;
+}
+
+std::optional<double> AnalysisContext::evaluate_move(const MappingMove& move) {
+  SF_REQUIRE(base_mapping_.has_value(),
+             "evaluate_move requires a base mapping (call set_base first)");
+  scratch_valid_ = false;
+
+  const Mapping& base = *base_mapping_;
+  const std::size_t n = base.num_stages();
+  const std::size_t m = base.num_processors();
+  SF_REQUIRE(move.p < m, "move processor index out of range");
+
+  scratch_assignment_ = base_assignment_;
+  std::size_t touched[2] = {Mapping::kUnused, Mapping::kUnused};
+  if (move.kind == MappingMove::Kind::kMigrate) {
+    SF_REQUIRE(move.target < n || move.target == Mapping::kUnused,
+               "move target stage out of range");
+    touched[0] = scratch_assignment_[move.p];
+    touched[1] = move.target;
+    scratch_assignment_[move.p] = move.target;
+  } else {
+    SF_REQUIRE(move.q < m && move.q != move.p,
+               "swap requires two distinct processors");
+    touched[0] = scratch_assignment_[move.p];
+    touched[1] = scratch_assignment_[move.q];
+    std::swap(scratch_assignment_[move.p], scratch_assignment_[move.q]);
+  }
+
+  // Re-derive the teams in the search normal form (increasing processor id).
+  scratch_teams_.resize(n);
+  for (auto& team : scratch_teams_) team.clear();
+  for (std::size_t p = 0; p < m; ++p) {
+    if (scratch_assignment_[p] != Mapping::kUnused)
+      scratch_teams_[scratch_assignment_[p]].push_back(p);
+  }
+  for (const auto& team : scratch_teams_) {
+    if (team.empty()) return std::nullopt;
+  }
+
+  std::optional<Mapping> candidate;
+  try {
+    candidate.emplace(base.application(), base.platform(), scratch_teams_);
+  } catch (const InvalidArgument&) {
+    // e.g. a used link has no bandwidth on this platform
+    return std::nullopt;
+  }
+  if (candidate->num_paths() > base_options_.max_paths) return std::nullopt;
+
+  double score;
+  scratch_touched_.assign(n == 0 ? 0 : n - 1, 0);
+  if (base_options_.objective == MappingObjective::kDeterministic) {
+    TpnBuildOptions build;
+    build.max_rows = base_options_.max_paths;
+    score = deterministic_throughput(*candidate, base_options_.model, build)
+                .throughput;
+  } else {
+    scratch_columns_.resize(n == 0 ? 0 : n - 1);
+    column_ptrs_.clear();
+    for (std::size_t c = 0; c + 1 < n; ++c) {
+      const bool is_touched = (touched[0] != Mapping::kUnused &&
+                               (touched[0] == c || touched[0] == c + 1)) ||
+                              (touched[1] != Mapping::kUnused &&
+                               (touched[1] == c || touched[1] == c + 1));
+      if (is_touched) {
+        scratch_columns_[c] = solve_column(*candidate, c);
+        scratch_touched_[c] = 1;
+        column_ptrs_.push_back(&scratch_columns_[c]);
+        ++stats_.columns_recomputed;
+      } else {
+        column_ptrs_.push_back(&base_columns_[c]);
+        ++stats_.columns_reused;
+      }
+    }
+    ExponentialThroughput result;
+    compose(*candidate, column_ptrs_, /*want_components=*/false, result);
+    score = result.throughput;
+  }
+  ++stats_.evaluations;
+  ++stats_.move_evaluations;
+
+#ifndef NDEBUG
+  {
+    // The incremental path must be bit-identical to a cold full evaluation.
+    AnalysisContext fresh(options_);
+    const double reference = fresh.objective_uncounted(*candidate, base_options_);
+    SF_ASSERT(score == reference,
+              "incremental evaluate_move diverged from the non-incremental "
+              "evaluation path");
+  }
+#endif
+
+  scratch_move_ = move;
+  scratch_mapping_ = std::move(candidate);
+  scratch_score_ = score;
+  scratch_valid_ = true;
+  return score;
+}
+
+double AnalysisContext::commit_move(const MappingMove& move) {
+  SF_REQUIRE(scratch_valid_ && move == scratch_move_,
+             "commit_move must immediately follow a feasible evaluate_move "
+             "of the same move");
+  base_mapping_ = std::move(scratch_mapping_);
+  base_assignment_.swap(scratch_assignment_);
+  if (base_options_.objective == MappingObjective::kExponential) {
+    for (std::size_t c = 0; c < scratch_touched_.size(); ++c) {
+      if (scratch_touched_[c]) base_columns_[c] = std::move(scratch_columns_[c]);
+    }
+  }
+  base_score_ = scratch_score_;
+  scratch_valid_ = false;
+  scratch_mapping_.reset();
+  return base_score_;
+}
+
+}  // namespace streamflow

@@ -1,0 +1,207 @@
+// AnalysisContext — the memoizing throughput-evaluation layer.
+//
+// One context per analysis session (a mapping search, a batch of scenarios)
+// owns:
+//  (a) a pattern-solve cache: the saturated rate of every heterogeneous
+//      communication pattern solved so far, keyed by its canonical
+//      signature (tpn/columns.hpp's PatternSignature). The signature pins
+//      (u, v, exact link durations), so entries are valid — and shared —
+//      across every mapping evaluated through the context, even mappings of
+//      different (application, platform) instances;
+//  (b) reusable arenas for the column decomposition and flow recursion, so
+//      repeated evaluations stop reallocating; and
+//  (c) an incremental move-evaluation API for local search: set_base() pins
+//      a mapping, evaluate_move() scores a migrate/swap neighbour by
+//      re-solving only the columns whose teams the move touches and
+//      re-running the (cheap) flow recursion over the component DAG, and
+//      commit_move() adopts the last evaluated move for free.
+//
+// The column method splits as decompose -> solve_patterns -> compose:
+// decompose produces the per-column communication patterns (tpn/columns),
+// solve_patterns obtains each pattern's saturated rate from the cache, from
+// a fresh Young-diagram CTMC solve (young/pattern_analysis over
+// markov/throughput's saturated_flow), or from Theorem 4's closed form, and
+// compose runs the forward flow recursion of Theorem 3 over the component
+// DAG. The free function exponential_throughput() is a thin wrapper that
+// builds a throwaway context.
+//
+// Every cached or incremental result is bit-identical to the throwaway
+// path: a cache hit returns the double produced by an earlier solve of a
+// bit-identical pattern (the solve is deterministic), and compose performs
+// the same IEEE-754 operations in the same order whether the inner rates
+// came from the cache or not. Debug builds assert this on every
+// evaluate_move; tests/test_analysis_context.cpp pins it across move kinds
+// and random instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/heuristics.hpp"
+#include "tpn/columns.hpp"
+
+namespace streamflow {
+
+/// Monotone counters of one AnalysisContext (clear() resets them).
+struct AnalysisCacheStats {
+  std::size_t pattern_hits = 0;    ///< CTMC solves answered from the cache
+  std::size_t pattern_misses = 0;  ///< CTMC solves computed and stored
+  std::size_t closed_form = 0;     ///< homogeneous Theorem 4 evaluations
+  /// Objective evaluations of feasible candidates (full + incremental).
+  std::size_t evaluations = 0;
+  /// The subset of `evaluations` served by evaluate_move().
+  std::size_t move_evaluations = 0;
+  std::size_t columns_reused = 0;      ///< base columns reused by moves
+  std::size_t columns_recomputed = 0;  ///< columns moves had to re-solve
+};
+
+/// One local-search move in assignment space, applied to the pinned base.
+struct MappingMove {
+  enum class Kind { kMigrate, kSwap };
+  Kind kind = Kind::kMigrate;
+  std::size_t p = 0;  ///< the migrating processor / first swap arm
+  std::size_t q = 0;  ///< second swap arm (kSwap only)
+  /// Destination stage of p (kMigrate only); Mapping::kUnused benches p.
+  std::size_t target = Mapping::kUnused;
+
+  static MappingMove migrate(std::size_t p, std::size_t target) {
+    return MappingMove{Kind::kMigrate, p, 0, target};
+  }
+  static MappingMove swap(std::size_t p, std::size_t q) {
+    return MappingMove{Kind::kSwap, p, q, Mapping::kUnused};
+  }
+
+  bool operator==(const MappingMove&) const = default;
+};
+
+class AnalysisContext {
+ public:
+  explicit AnalysisContext(ExponentialOptions options = {});
+
+  const ExponentialOptions& exponential_options() const { return options_; }
+
+  /// Drop-in for the free exponential_throughput(): same contract, same
+  /// bits, but pattern solves go through the cache and arenas are reused.
+  ExponentialThroughput exponential(
+      const Mapping& mapping, ExecutionModel model = ExecutionModel::kOverlap);
+
+  /// Saturated rate of one communication pattern through the cache.
+  /// Bit-identical to pattern_flow_exponential (heterogeneous pattern) or
+  /// pattern_flow_exponential_homogeneous (Theorem 4 closed form).
+  double pattern_rate(const CommPattern& pattern);
+
+  /// evaluate_mapping() through the cache: the objective value of `mapping`
+  /// under `options`. Counted in stats().evaluations.
+  double objective(const Mapping& mapping, const MappingSearchOptions& options);
+
+  // ---- Incremental search API ---------------------------------------------
+
+  /// Pins `mapping` as the base of subsequent evaluate_move() calls and
+  /// returns its objective value. Teams must list processors in increasing
+  /// order (the normal form the search works in; moves re-derive teams from
+  /// the per-processor assignment). Counted as one evaluation unless
+  /// `count_evaluation` is false (used when re-basing onto an
+  /// already-scored mapping).
+  double set_base(Mapping mapping, const MappingSearchOptions& options,
+                  bool count_evaluation = true);
+
+  bool has_base() const { return base_mapping_.has_value(); }
+  const Mapping& base_mapping() const;
+  double base_score() const;
+
+  /// Objective of base (+) move, or nullopt when the move is infeasible
+  /// (empty team, unusable link, or lcm of replications above max_paths).
+  /// Only the columns adjacent to a touched stage are re-solved; all other
+  /// columns reuse the base solves. Does not change the base.
+  std::optional<double> evaluate_move(const MappingMove& move);
+
+  /// Re-bases onto base (+) move. Must immediately follow a feasible
+  /// evaluate_move(move) of the same move: the pending candidate state is
+  /// adopted wholesale, so committing performs no new evaluation and
+  /// changes no counter.
+  double commit_move(const MappingMove& move);
+
+  const AnalysisCacheStats& stats() const { return stats_; }
+
+  /// Number of distinct heterogeneous patterns currently cached.
+  std::size_t pattern_cache_size() const { return pattern_cache_.size(); }
+
+  /// Drops the cache, the base, and the statistics.
+  void clear();
+
+ private:
+  /// A solved communication component: its saturated (inner) rate plus the
+  /// metadata compose() and the diagnostics need.
+  struct SolvedComponent {
+    double inner = 0.0;
+    std::size_t u = 1;
+    std::size_t v = 1;
+    std::size_t g = 1;
+    std::size_t file_index = 0;
+    std::size_t component = 0;
+    std::vector<std::size_t> senders;  ///< global sender ids (flow caps)
+  };
+  struct SolvedColumn {
+    std::size_t g = 1;
+    std::vector<SolvedComponent> comps;
+  };
+
+  struct SignatureHash {
+    std::size_t operator()(const PatternSignature& s) const {
+      return static_cast<std::size_t>(s.hash());
+    }
+  };
+
+  SolvedColumn solve_column(const Mapping& mapping, std::size_t file_index);
+  void solve_all_columns(const Mapping& mapping,
+                         std::vector<SolvedColumn>& out);
+  /// Full (non-incremental) column-method evaluation: solve every column
+  /// into `columns`, then compose. The one path behind exponential(),
+  /// objective(), and set_base(), so cached and uncached evaluations cannot
+  /// diverge.
+  void evaluate_columns(const Mapping& mapping,
+                        std::vector<SolvedColumn>& columns,
+                        bool want_components, ExponentialThroughput& out);
+  /// The Theorem 3 forward flow recursion over the component DAG. Fills
+  /// `out.throughput` / `out.in_order_throughput` (and `out.components`
+  /// when `want_components`); bitwise-identical arithmetic either way.
+  void compose(const Mapping& mapping,
+               const std::vector<const SolvedColumn*>& columns,
+               bool want_components, ExponentialThroughput& out);
+  double objective_uncounted(const Mapping& mapping,
+                             const MappingSearchOptions& options);
+  static void check_objective(const Mapping& mapping,
+                              const MappingSearchOptions& options);
+
+  ExponentialOptions options_;
+  AnalysisCacheStats stats_;
+  std::unordered_map<PatternSignature, double, SignatureHash> pattern_cache_;
+
+  // Arenas reused across evaluations.
+  std::vector<double> eff_;
+  std::vector<double> flow_;
+  std::vector<SolvedColumn> full_columns_;
+  std::vector<const SolvedColumn*> column_ptrs_;
+
+  // Base state of the incremental API.
+  std::optional<Mapping> base_mapping_;
+  MappingSearchOptions base_options_;
+  std::vector<std::size_t> base_assignment_;  ///< stage per processor
+  std::vector<SolvedColumn> base_columns_;    ///< exponential objective only
+  double base_score_ = 0.0;
+
+  // Pending candidate of the last feasible evaluate_move (commit adopts it).
+  bool scratch_valid_ = false;
+  MappingMove scratch_move_;
+  std::optional<Mapping> scratch_mapping_;
+  std::vector<std::size_t> scratch_assignment_;
+  std::vector<SolvedColumn> scratch_columns_;
+  std::vector<char> scratch_touched_;
+  double scratch_score_ = 0.0;
+  std::vector<std::vector<std::size_t>> scratch_teams_;
+};
+
+}  // namespace streamflow

@@ -2,103 +2,18 @@
 
 #include <algorithm>
 #include <limits>
-#include <sstream>
 
+#include "core/analysis_context.hpp"
 #include "markov/throughput.hpp"
 #include "tpn/builder.hpp"
-#include "tpn/columns.hpp"
-#include "young/pattern_analysis.hpp"
 
 namespace streamflow {
 
-namespace {
+namespace detail {
 
-/// Theorem 3/4 column method for the Overlap model: forward flow recursion
-/// over the component DAG.
-ExponentialThroughput columns_method(const Mapping& mapping,
-                                     const ExponentialOptions& options) {
-  ExponentialThroughput result;
-  result.method_used = ExponentialMethod::kColumns;
-
-  const std::size_t n = mapping.num_stages();
-  // Effective personal completion rate of each processor of the current
-  // stage (data sets it finishes per time unit, upstream included).
-  std::vector<double> eff(mapping.num_processors(), 0.0);
-
-  auto component_label = [](const CommPattern& p) {
-    std::ostringstream os;
-    os << "F" << (p.file_index + 1) << "#" << p.component << " (" << p.u << "x"
-       << p.v << ")";
-    return os.str();
-  };
-
-  // Equalized (in-order) cap: min over ALL components of the throughput the
-  // whole system could sustain if that component were the only constraint
-  // (processor p of stage i: R_i * lambda_p; communication pattern: g *
-  // inner flow). Every component is an ancestor of some output row, so the
-  // slowest one paces the ordered stream.
-  double in_order = std::numeric_limits<double>::infinity();
-
-  // Stage 0: saturated sources.
-  for (std::size_t p : mapping.team(0)) {
-    eff[p] = 1.0 / mapping.comp_time(p);  // exponential rate = 1 / mean
-    in_order = std::min(
-        in_order, eff[p] * static_cast<double>(mapping.replication(0)));
-    result.components.push_back(ComponentInfo{
-        "T1/P" + std::to_string(p), eff[p], eff[p], false});
-  }
-
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    const std::vector<CommPattern> patterns = comm_patterns(mapping, i);
-    std::vector<double> flow(patterns.size(), 0.0);
-    for (std::size_t c = 0; c < patterns.size(); ++c) {
-      const CommPattern& pattern = patterns[c];
-      double inner;
-      if (pattern.homogeneous()) {
-        inner = pattern_flow_exponential_homogeneous(
-            pattern.u, pattern.v, 1.0 / pattern.durations.front());
-      } else {
-        inner =
-            pattern_flow_exponential(pattern, options.max_states).inner_flow;
-      }
-      // Conservation + saturation: the round-robin equalizes the per-link
-      // frequency, so the slowest of the u senders paces the whole pattern.
-      double sender_cap = std::numeric_limits<double>::infinity();
-      for (std::size_t p : pattern.senders)
-        sender_cap = std::min(sender_cap, eff[p]);
-      sender_cap *= static_cast<double>(pattern.u);
-      flow[c] = std::min(inner, sender_cap);
-      in_order = std::min(in_order, inner * static_cast<double>(pattern.g));
-      result.components.push_back(ComponentInfo{component_label(pattern),
-                                                inner, flow[c],
-                                                flow[c] < inner});
-    }
-    // Receivers of stage i+1 draw flow / v each.
-    const std::size_t g = patterns.front().g;
-    for (std::size_t b = 0; b < mapping.team(i + 1).size(); ++b) {
-      const std::size_t q = mapping.team(i + 1)[b];
-      const CommPattern& pattern = patterns[b % g];
-      const double arrival = flow[b % g] / static_cast<double>(pattern.v);
-      const double inner = 1.0 / mapping.comp_time(q);
-      eff[q] = std::min(inner, arrival);
-      in_order = std::min(
-          in_order, inner * static_cast<double>(mapping.replication(i + 1)));
-      result.components.push_back(
-          ComponentInfo{"T" + std::to_string(i + 2) + "/P" + std::to_string(q),
-                        inner, eff[q], eff[q] < inner});
-    }
-  }
-
-  double total = 0.0;
-  for (std::size_t q : mapping.team(n - 1)) total += eff[q];
-  result.throughput = total;
-  result.in_order_throughput = std::min(in_order, total);
-  return result;
-}
-
-ExponentialThroughput general_method(const Mapping& mapping,
-                                     ExecutionModel model,
-                                     const ExponentialOptions& options) {
+ExponentialThroughput general_ctmc_throughput(const Mapping& mapping,
+                                              ExecutionModel model,
+                                              const ExponentialOptions& options) {
   ExponentialThroughput result;
   result.method_used = ExponentialMethod::kGeneralCtmc;
 
@@ -127,23 +42,15 @@ ExponentialThroughput general_method(const Mapping& mapping,
   return result;
 }
 
-}  // namespace
+}  // namespace detail
 
 ExponentialThroughput exponential_throughput(const Mapping& mapping,
                                              ExecutionModel model,
                                              const ExponentialOptions& options) {
-  ExponentialMethod method = options.method;
-  if (method == ExponentialMethod::kAuto) {
-    method = model == ExecutionModel::kOverlap ? ExponentialMethod::kColumns
-                                               : ExponentialMethod::kGeneralCtmc;
-  }
-  if (method == ExponentialMethod::kColumns) {
-    SF_REQUIRE(model == ExecutionModel::kOverlap,
-               "the column decomposition (Theorem 3) applies to the Overlap "
-               "model only; use kGeneralCtmc for Strict");
-    return columns_method(mapping, options);
-  }
-  return general_method(mapping, model, options);
+  // Throwaway context: one-shot callers pay nothing for the cache; callers
+  // that evaluate many mappings should hold an AnalysisContext instead.
+  AnalysisContext context(options);
+  return context.exponential(mapping, model);
 }
 
 NbueBounds nbue_throughput_bounds(const Mapping& mapping, ExecutionModel model,

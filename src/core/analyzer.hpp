@@ -76,9 +76,20 @@ struct ExponentialThroughput {
 
 /// Exponential-case throughput (§5): all computation and communication
 /// times exponential with the mapping's deterministic times as means.
+/// A thin wrapper constructing a throwaway AnalysisContext (see
+/// core/analysis_context.hpp); long-running callers that evaluate many
+/// mappings should hold a context of their own to share pattern solves.
 ExponentialThroughput exponential_throughput(
     const Mapping& mapping, ExecutionModel model,
     const ExponentialOptions& options = {});
+
+namespace detail {
+/// Theorem 2's general reachability-CTMC path, used when the column method
+/// does not apply. Exposed for AnalysisContext; not part of the public API.
+ExponentialThroughput general_ctmc_throughput(const Mapping& mapping,
+                                              ExecutionModel model,
+                                              const ExponentialOptions& options);
+}  // namespace detail
 
 /// Theorem 7's bounds for arbitrary I.I.D. N.B.U.E. times with the
 /// mapping's deterministic times as means:

@@ -3,17 +3,19 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/prng.hpp"
-#include "core/analyzer.hpp"
-#include "maxplus/deterministic.hpp"
+#include "core/analysis_context.hpp"
 
 namespace streamflow {
 
 namespace {
 
-constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+constexpr std::size_t kUnassigned = Mapping::kUnused;
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 /// Assignment representation: stage index per processor (or kUnassigned).
 using Assignment = std::vector<std::size_t>;
@@ -39,37 +41,100 @@ std::optional<Mapping> realize(const Application& application,
   }
 }
 
-class Evaluator {
- public:
-  Evaluator(const Application& application, const Platform& platform,
-            const MappingSearchOptions& options)
-      : application_(application), platform_(platform), options_(options) {}
+void apply_move(Assignment& assignment, const MappingMove& move) {
+  if (move.kind == MappingMove::Kind::kMigrate) {
+    assignment[move.p] = move.target;
+  } else {
+    std::swap(assignment[move.p], assignment[move.q]);
+  }
+}
 
-  /// Objective value of an assignment, or -inf if infeasible.
-  double score(const Assignment& assignment) {
-    const auto mapping =
-        realize(application_, platform_, assignment, options_.max_paths);
-    if (!mapping) return -std::numeric_limits<double>::infinity();
-    ++evaluations_;
-    return evaluate_mapping(*mapping, options_);
+/// One search trajectory: the current assignment plus the context base that
+/// mirrors it. Neighbour candidates are probed through the incremental
+/// evaluate_move path once a feasible base is pinned; until then (an
+/// infeasible start, which local search may still climb out of) probes fall
+/// back to full throwaway evaluations through the same context.
+class SearchState {
+ public:
+  SearchState(const Application& application, const Platform& platform,
+              const MappingSearchOptions& options, AnalysisContext& context,
+              Assignment assignment)
+      : application_(application),
+        platform_(platform),
+        options_(options),
+        context_(context),
+        assignment_(std::move(assignment)) {
+    auto mapping =
+        realize(application_, platform_, assignment_, options_.max_paths);
+    if (mapping) {
+      current_ = context_.set_base(std::move(*mapping), options_);
+      has_base_ = true;
+    }
   }
 
-  std::size_t evaluations() const { return evaluations_; }
+  const Assignment& assignment() const { return assignment_; }
+  double current() const { return current_; }
+  bool feasible() const { return has_base_; }
+
+  /// Objective of assignment (+) move; nullopt when infeasible. Counted as
+  /// one evaluation. Does not change the assignment.
+  std::optional<double> probe(const MappingMove& move) {
+    if (has_base_) return context_.evaluate_move(move);
+    Assignment tentative = assignment_;
+    apply_move(tentative, move);
+    auto mapping =
+        realize(application_, platform_, tentative, options_.max_paths);
+    if (!mapping) return std::nullopt;
+    return context_.objective(*mapping, options_);
+  }
+
+  /// Adopts the move just probed feasible with value `score`. Free when a
+  /// base is pinned (the pending evaluate_move candidate is committed).
+  void adopt_last(const MappingMove& move, double score) {
+    apply_move(assignment_, move);
+    if (has_base_) {
+      context_.commit_move(move);
+    } else {
+      auto mapping =
+          realize(application_, platform_, assignment_, options_.max_paths);
+      SF_ASSERT(mapping.has_value(),
+                "adopted a move whose probe reported it feasible");
+      // The score is already known; re-base without recounting.
+      context_.set_base(std::move(*mapping), options_,
+                        /*count_evaluation=*/false);
+      has_base_ = true;
+    }
+    current_ = score;
+  }
 
  private:
   const Application& application_;
   const Platform& platform_;
   const MappingSearchOptions& options_;
-  std::size_t evaluations_ = 0;
+  AnalysisContext& context_;
+  Assignment assignment_;
+  double current_ = kNegInf;
+  bool has_base_ = false;
 };
 
-/// Greedy construction: heaviest stages get the fastest processors, then
-/// each remaining processor joins the team where it helps most.
-Assignment greedy_assignment(const Application& application,
-                             const Platform& platform, Evaluator& evaluator,
-                             const MappingSearchOptions& options) {
+/// Processor ids in decreasing-speed order. Computed once per search:
+/// std::sort is unstable, so the seeding and placement phases must share
+/// ONE ordering (a re-sort could break ties differently).
+std::vector<std::size_t> processors_by_speed(const Platform& platform) {
+  std::vector<std::size_t> procs(platform.num_processors());
+  std::iota(procs.begin(), procs.end(), std::size_t{0});
+  std::sort(procs.begin(), procs.end(), [&](std::size_t a, std::size_t b) {
+    return platform.speed(a) > platform.speed(b);
+  });
+  return procs;
+}
+
+/// Initial seeding of the greedy construction: heaviest stages get the
+/// fastest processors (no scoring involved).
+Assignment initial_greedy_assignment(
+    const Application& application, const Platform& platform,
+    const std::vector<std::size_t>& procs_by_speed) {
   const std::size_t n = application.num_stages();
-  const std::size_t m = platform.num_processors();
 
   std::vector<std::size_t> stages_by_work(n);
   std::iota(stages_by_work.begin(), stages_by_work.end(), std::size_t{0});
@@ -77,50 +142,53 @@ Assignment greedy_assignment(const Application& application,
             [&](std::size_t a, std::size_t b) {
               return application.work(a) > application.work(b);
             });
-  std::vector<std::size_t> procs_by_speed(m);
-  std::iota(procs_by_speed.begin(), procs_by_speed.end(), std::size_t{0});
-  std::sort(procs_by_speed.begin(), procs_by_speed.end(),
-            [&](std::size_t a, std::size_t b) {
-              return platform.speed(a) > platform.speed(b);
-            });
 
-  Assignment assignment(m, kUnassigned);
+  Assignment assignment(platform.num_processors(), kUnassigned);
   for (std::size_t k = 0; k < n; ++k)
     assignment[procs_by_speed[k]] = stages_by_work[k];
+  return assignment;
+}
 
-  // Greedily add the remaining processors where they raise the objective
-  // most; when unused processors are not allowed, place them even if no
-  // placement improves.
+/// Greedy construction: each remaining processor joins the team where it
+/// raises the objective most; when unused processors are not allowed, it is
+/// placed at the least-bad stage even if no placement improves.
+void greedy_place_extras(SearchState& state, const Application& application,
+                         const std::vector<std::size_t>& procs_by_speed,
+                         const MappingSearchOptions& options) {
+  const std::size_t n = application.num_stages();
+  const std::size_t m = procs_by_speed.size();
+
+  std::vector<std::optional<double>> candidate_scores(n);
   for (std::size_t k = n; k < m; ++k) {
     const std::size_t p = procs_by_speed[k];
-    const double base = evaluator.score(assignment);
-    double best = base;
+    double best = state.current();
     std::size_t best_stage = kUnassigned;
     for (std::size_t i = 0; i < n; ++i) {
-      assignment[p] = i;
-      const double candidate = evaluator.score(assignment);
-      if (candidate > best) {
-        best = candidate;
+      candidate_scores[i] = state.probe(MappingMove::migrate(p, i));
+      if (candidate_scores[i] && *candidate_scores[i] > best) {
+        best = *candidate_scores[i];
         best_stage = i;
       }
-      assignment[p] = kUnassigned;
     }
     if (best_stage == kUnassigned && !options.allow_unused_processors) {
-      // Fall back to the least-bad placement.
-      double least_bad = -std::numeric_limits<double>::infinity();
+      // Fall back to the least-bad placement (reusing the recorded scores:
+      // every objective evaluation is counted exactly once).
+      double least_bad = kNegInf;
       for (std::size_t i = 0; i < n; ++i) {
-        assignment[p] = i;
-        const double candidate = evaluator.score(assignment);
-        if (candidate > least_bad) {
-          least_bad = candidate;
+        if (candidate_scores[i] && *candidate_scores[i] > least_bad) {
+          least_bad = *candidate_scores[i];
           best_stage = i;
         }
-        assignment[p] = kUnassigned;
       }
     }
-    assignment[p] = best_stage;
+    if (best_stage != kUnassigned) {
+      // Re-probe so the commit adopts the pending candidate state.
+      const MappingMove move = MappingMove::migrate(p, best_stage);
+      const auto score = state.probe(move);
+      SF_ASSERT(score.has_value(), "chosen greedy placement turned infeasible");
+      state.adopt_last(move, *score);
+    }
   }
-  return assignment;
 }
 
 Assignment random_assignment(const Application& application,
@@ -144,65 +212,63 @@ Assignment random_assignment(const Application& application,
 }
 
 /// First-improvement local search over migrate and swap moves.
-double local_search(Assignment& assignment, Evaluator& evaluator,
-                    const MappingSearchOptions& options, std::size_t n) {
-  double current = evaluator.score(assignment);
+double local_search(SearchState& state, const MappingSearchOptions& options,
+                    std::size_t n) {
+  const std::size_t m = state.assignment().size();
   for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
     bool improved = false;
     // Migration moves: processor p -> stage i (or unassigned).
-    for (std::size_t p = 0; p < assignment.size(); ++p) {
-      const std::size_t original = assignment[p];
+    for (std::size_t p = 0; p < m; ++p) {
+      const std::size_t original = state.assignment()[p];
       const std::size_t targets = n + (options.allow_unused_processors ? 1 : 0);
       for (std::size_t i = 0; i < targets; ++i) {
         const std::size_t target = i == n ? kUnassigned : i;
         if (target == original) continue;
-        assignment[p] = target;
-        const double candidate = evaluator.score(assignment);
-        if (candidate > current * (1.0 + 1e-12)) {
-          current = candidate;
+        const MappingMove move = MappingMove::migrate(p, target);
+        const auto candidate = state.probe(move);
+        if (candidate && *candidate > state.current() * (1.0 + 1e-12)) {
+          state.adopt_last(move, *candidate);
           improved = true;
           break;  // keep the move
         }
-        assignment[p] = original;
       }
     }
     // Swap moves: exchange the stages of p and q.
-    for (std::size_t p = 0; p < assignment.size(); ++p) {
-      for (std::size_t q = p + 1; q < assignment.size(); ++q) {
-        if (assignment[p] == assignment[q]) continue;
-        std::swap(assignment[p], assignment[q]);
-        const double candidate = evaluator.score(assignment);
-        if (candidate > current * (1.0 + 1e-12)) {
-          current = candidate;
+    for (std::size_t p = 0; p < m; ++p) {
+      for (std::size_t q = p + 1; q < m; ++q) {
+        if (state.assignment()[p] == state.assignment()[q]) continue;
+        const MappingMove move = MappingMove::swap(p, q);
+        const auto candidate = state.probe(move);
+        if (candidate && *candidate > state.current() * (1.0 + 1e-12)) {
+          state.adopt_last(move, *candidate);
           improved = true;
-        } else {
-          std::swap(assignment[p], assignment[q]);
         }
       }
     }
     if (!improved) break;
   }
-  return current;
+  return state.current();
 }
 
 }  // namespace
 
 double evaluate_mapping(const Mapping& mapping,
                         const MappingSearchOptions& options) {
-  if (options.objective == MappingObjective::kDeterministic) {
-    TpnBuildOptions build;
-    build.max_rows = options.max_paths;
-    return deterministic_throughput(mapping, options.model, build).throughput;
-  }
-  SF_REQUIRE(options.model == ExecutionModel::kOverlap,
-             "the exponential objective uses the column method, which "
-             "applies to the Overlap model only");
-  return exponential_throughput(mapping, options.model).throughput;
+  AnalysisContext context;
+  return context.objective(mapping, options);
 }
 
 MappingSearchResult optimize_mapping(const Application& application,
                                      const Platform& platform,
                                      const MappingSearchOptions& options) {
+  AnalysisContext context;
+  return optimize_mapping(application, platform, options, context);
+}
+
+MappingSearchResult optimize_mapping(const Application& application,
+                                     const Platform& platform,
+                                     const MappingSearchOptions& options,
+                                     AnalysisContext& context) {
   SF_REQUIRE(platform.num_processors() >= application.num_stages(),
              "need at least one processor per stage");
   if (options.objective == MappingObjective::kExponential) {
@@ -210,33 +276,40 @@ MappingSearchResult optimize_mapping(const Application& application,
                "the exponential objective uses the column method, which "
                "applies to the Overlap model only");
   }
-  Evaluator evaluator(application, platform, options);
+  const AnalysisCacheStats before = context.stats();
   Prng prng(options.seed);
+  const std::size_t n = application.num_stages();
 
-  Assignment best_assignment =
-      greedy_assignment(application, platform, evaluator, options);
-  const double greedy_score = evaluator.score(best_assignment);
-  double best_score = local_search(best_assignment, evaluator, options,
-                                   application.num_stages());
+  const std::vector<std::size_t> procs_by_speed = processors_by_speed(platform);
+  SearchState greedy_state(
+      application, platform, options, context,
+      initial_greedy_assignment(application, platform, procs_by_speed));
+  greedy_place_extras(greedy_state, application, procs_by_speed, options);
+  const double greedy_score = greedy_state.current();
+  double best_score = local_search(greedy_state, options, n);
+  Assignment best_assignment = greedy_state.assignment();
 
   for (std::size_t restart = 1; restart < options.restarts; ++restart) {
-    Assignment assignment = random_assignment(application, platform, prng);
-    if (evaluator.score(assignment) ==
-        -std::numeric_limits<double>::infinity())
-      continue;  // random draw infeasible on this platform
-    const double score =
-        local_search(assignment, evaluator, options, application.num_stages());
+    SearchState state(application, platform, options, context,
+                      random_assignment(application, platform, prng));
+    if (!state.feasible()) continue;  // random draw infeasible on this platform
+    const double score = local_search(state, options, n);
     if (score > best_score) {
       best_score = score;
-      best_assignment = std::move(assignment);
+      best_assignment = state.assignment();
     }
   }
 
   auto mapping =
       realize(application, platform, best_assignment, options.max_paths);
   SF_ASSERT(mapping.has_value(), "search ended on an infeasible assignment");
-  return MappingSearchResult{std::move(*mapping), best_score, greedy_score,
-                             evaluator.evaluations()};
+  const AnalysisCacheStats& after = context.stats();
+  return MappingSearchResult{std::move(*mapping),
+                             best_score,
+                             greedy_score,
+                             after.evaluations - before.evaluations,
+                             after.pattern_hits - before.pattern_hits,
+                             after.pattern_misses - before.pattern_misses};
 }
 
 }  // namespace streamflow

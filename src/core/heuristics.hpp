@@ -12,6 +12,13 @@
 // teams. Mappings whose lcm of replication factors exceeds `max_paths` are
 // rejected (their analysis cost would explode — and in practice such
 // mappings are also operationally fragile).
+//
+// Scoring runs through core/analysis_context.hpp: neighbour candidates are
+// evaluated incrementally (only the columns a move touches are re-solved)
+// and every communication-pattern CTMC solve is memoized across candidates.
+// The incremental path is bit-identical to full re-evaluation (asserted in
+// Debug builds), so the search trajectory — and therefore the result — does
+// not depend on the cache state.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,8 @@
 #include "model/mapping.hpp"
 
 namespace streamflow {
+
+class AnalysisContext;
 
 /// What the search maximizes.
 enum class MappingObjective {
@@ -33,6 +42,9 @@ struct MappingSearchOptions {
   ExecutionModel model = ExecutionModel::kOverlap;
   MappingObjective objective = MappingObjective::kExponential;
   /// Random restarts of the local search (the first start is greedy).
+  /// Values 0 and 1 are equivalent: both run the greedy construction plus
+  /// one local-search pass and no random restart (tested in
+  /// tests/test_heuristics.cpp).
   std::size_t restarts = 4;
   /// Local-search sweeps per start before giving up on improvement.
   std::size_t max_sweeps = 50;
@@ -49,14 +61,30 @@ struct MappingSearchResult {
   Mapping mapping;                ///< the best mapping found
   double throughput = 0.0;        ///< its objective value
   double greedy_throughput = 0.0; ///< objective after greedy construction
-  std::size_t evaluations = 0;    ///< total throughput evaluations
+  /// Every objective evaluation of a feasible candidate, greedy
+  /// construction included: full evaluations plus incremental move
+  /// evaluations (committing an already-evaluated move is not recounted).
+  std::size_t evaluations = 0;
+  /// Communication-pattern CTMC solves answered from the context cache
+  /// during this search (0 for the deterministic objective).
+  std::size_t pattern_cache_hits = 0;
+  /// Pattern CTMC solves actually computed (cache misses) during this
+  /// search.
+  std::size_t pattern_cache_misses = 0;
 };
 
 /// Runs the search. Requires num_processors >= num_stages.
 /// Throws InvalidArgument for kExponential with the Strict model.
+/// The overload without a context uses a private throwaway
+/// AnalysisContext; pass a shared context to reuse pattern solves across
+/// searches (results are identical either way — see the determinism tests).
 MappingSearchResult optimize_mapping(const Application& application,
                                      const Platform& platform,
                                      const MappingSearchOptions& options = {});
+MappingSearchResult optimize_mapping(const Application& application,
+                                     const Platform& platform,
+                                     const MappingSearchOptions& options,
+                                     AnalysisContext& context);
 
 /// Scores one mapping under the chosen objective (exposed for comparisons).
 double evaluate_mapping(const Mapping& mapping,

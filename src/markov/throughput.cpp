@@ -88,4 +88,20 @@ GeneralMethodResult exponential_throughput_general(
   return result;
 }
 
+GeneralMethodResult saturated_flow(const TimedEventGraph& graph,
+                                   const std::vector<double>& rates,
+                                   const GeneralMethodOptions& options) {
+  SF_REQUIRE(graph.num_transitions() > 0, "empty event graph");
+  const TpnMarkovChain chain =
+      explore_markings(graph, rates, options.reachability);
+  const Vector pi = solve_stationary(chain, rates, options);
+  GeneralMethodResult result;
+  result.num_states = chain.num_states;
+  result.capacity_clipped = chain.capacity_clipped;
+  for (const CtmcEdge& e : chain.edges) {
+    result.throughput += pi[e.from] * rates[e.transition];
+  }
+  return result;
+}
+
 }  // namespace streamflow

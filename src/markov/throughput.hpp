@@ -53,4 +53,14 @@ GeneralMethodResult exponential_throughput_general(
     const std::vector<std::size_t>& counted,
     const GeneralMethodOptions& options = {});
 
+/// Saturated flow of a pattern chain: the aggregate stationary firing
+/// frequency of EVERY transition of the graph. This is the CTMC entry point
+/// of the Theorem 3 column method (and of AnalysisContext's pattern cache):
+/// a communication pattern's inner throughput is the saturated flow of its
+/// folded event graph. Equivalent to exponential_throughput_general with all
+/// transitions counted, without materializing the index vector.
+GeneralMethodResult saturated_flow(const TimedEventGraph& graph,
+                                   const std::vector<double>& rates,
+                                   const GeneralMethodOptions& options = {});
+
 }  // namespace streamflow

@@ -1,11 +1,36 @@
 #include "tpn/columns.hpp"
 
+#include <bit>
 #include <cmath>
 #include <numeric>
 
 #include "common/math_utils.hpp"
 
 namespace streamflow {
+
+std::uint64_t PatternSignature::hash() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (word >> (8 * byte)) & 0xFFU;
+      h *= 0x100000001B3ULL;  // FNV prime
+    }
+  };
+  mix(static_cast<std::uint64_t>(u));
+  mix(static_cast<std::uint64_t>(v));
+  for (const std::uint64_t bits : duration_bits) mix(bits);
+  return h;
+}
+
+PatternSignature pattern_signature(const CommPattern& pattern) {
+  PatternSignature signature;
+  signature.u = pattern.u;
+  signature.v = pattern.v;
+  signature.duration_bits.reserve(pattern.durations.size());
+  for (const double d : pattern.durations)
+    signature.duration_bits.push_back(std::bit_cast<std::uint64_t>(d));
+  return signature;
+}
 
 bool CommPattern::homogeneous(double rel_tol) const {
   if (durations.empty()) return true;

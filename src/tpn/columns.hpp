@@ -56,6 +56,29 @@ struct CommPattern {
 std::vector<CommPattern> comm_patterns(const Mapping& mapping,
                                        std::size_t file_index);
 
+/// Canonical signature of a pattern's exponential solve. The saturated rate
+/// of a pattern is a pure function of (u, v, link durations in occurrence
+/// order), so two patterns with equal signatures have bit-identical solves;
+/// the signature is the key of AnalysisContext's pattern cache and is valid
+/// across different (application, platform) instances. Durations are
+/// compared bit-exactly (as IEEE-754 payloads): a sorted-multiset key would
+/// share entries across sender/receiver relabelings too, but re-solving a
+/// permuted pattern is not guaranteed to reproduce the same low-order bits,
+/// and the cache promises results bit-identical to the uncached path.
+struct PatternSignature {
+  std::size_t u = 1;
+  std::size_t v = 1;
+  /// Bit patterns of durations[0..uv), verbatim order.
+  std::vector<std::uint64_t> duration_bits;
+
+  bool operator==(const PatternSignature&) const = default;
+
+  /// FNV-1a over (u, v, duration bits), for hash-map use.
+  std::uint64_t hash() const;
+};
+
+PatternSignature pattern_signature(const CommPattern& pattern);
+
 /// Builds the folded pattern event graph: u*v transitions t = 0..uv-1
 /// (occurrence order), a cyclic sender chain over {t : t % u == a} for each
 /// a, and a cyclic receiver chain over {t : t % v == b} for each b.

@@ -1,7 +1,5 @@
 #include "young/pattern_analysis.hpp"
 
-#include <numeric>
-
 #include "markov/throughput.hpp"
 #include "maxplus/mcr.hpp"
 
@@ -11,12 +9,9 @@ PatternFlow pattern_flow_exponential(const CommPattern& pattern,
                                      std::size_t max_states) {
   const TimedEventGraph teg = build_pattern_teg(pattern);
   const std::vector<double> rates = rates_from_durations(teg);
-  std::vector<std::size_t> all(teg.num_transitions());
-  std::iota(all.begin(), all.end(), std::size_t{0});
   GeneralMethodOptions options;
   options.reachability.max_states = max_states;
-  const GeneralMethodResult r =
-      exponential_throughput_general(teg, rates, all, options);
+  const GeneralMethodResult r = saturated_flow(teg, rates, options);
   SF_ASSERT(!r.capacity_clipped,
             "pattern TEG has no flow places; capacity cannot clip");
   return PatternFlow{r.throughput, r.num_states};

@@ -26,7 +26,10 @@ struct PatternFlow {
 };
 
 /// Exact exponential analysis via the pattern CTMC (rates = 1/duration per
-/// link). Cost grows as S(u,v)^3; guarded by `max_states`.
+/// link), through markov/throughput.hpp's saturated_flow. Cost grows as
+/// S(u,v)^3; guarded by `max_states`. Deterministic: identical patterns
+/// produce bit-identical flows, which is what lets AnalysisContext memoize
+/// this solve by pattern signature.
 PatternFlow pattern_flow_exponential(const CommPattern& pattern,
                                      std::size_t max_states = 250'000);
 

@@ -4,12 +4,24 @@
 
 #include "common/prng.hpp"
 #include "common/stats.hpp"
+#include "core/analysis_context.hpp"
 #include "core/analyzer.hpp"
 #include "model/random_instance.hpp"
 #include "test_helpers.hpp"
 
 namespace streamflow {
 namespace {
+
+void expect_same_result(const MappingSearchResult& a,
+                        const MappingSearchResult& b) {
+  ASSERT_EQ(a.mapping.num_stages(), b.mapping.num_stages());
+  for (std::size_t i = 0; i < a.mapping.num_stages(); ++i) {
+    EXPECT_EQ(a.mapping.team(i), b.mapping.team(i));
+  }
+  EXPECT_EQ(a.throughput, b.throughput);  // bitwise
+  EXPECT_EQ(a.greedy_throughput, b.greedy_throughput);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
 
 TEST(Heuristics, TrivialInstanceAssignsEverything) {
   // One processor per stage: the only feasible shape.
@@ -113,6 +125,90 @@ TEST(Heuristics, Validation) {
   bad.model = ExecutionModel::kStrict;
   bad.objective = MappingObjective::kExponential;
   EXPECT_THROW(optimize_mapping(app2, platform2, bad), InvalidArgument);
+}
+
+TEST(Heuristics, RestartsZeroMatchesRestartsOne) {
+  // restarts = 0 must still run the greedy start plus one local-search
+  // pass: it is equivalent to restarts = 1, not an empty result.
+  Application app({2.0, 8.0, 3.0}, {1.0, 1.0});
+  Platform platform = Platform::fully_connected(
+      {1.0, 1.5, 2.0, 0.8, 1.2, 2.5, 0.9}, 4.0);
+  MappingSearchOptions options;
+  options.objective = MappingObjective::kExponential;
+  options.seed = 11;
+  options.restarts = 0;
+  const auto zero = optimize_mapping(app, platform, options);
+  options.restarts = 1;
+  const auto one = optimize_mapping(app, platform, options);
+  expect_same_result(zero, one);
+  EXPECT_GT(zero.throughput, 0.0);
+  EXPECT_GE(zero.throughput, zero.greedy_throughput);
+  EXPECT_GT(zero.evaluations, 0u);
+}
+
+TEST(Heuristics, EvaluationAccountingIsExact) {
+  // With no local-search sweeps and forced placement, the count is fully
+  // determined: 1 evaluation of the initial greedy seed, then for each of
+  // the m - n extra processors n candidate probes plus one re-probe of the
+  // chosen placement. Every greedy-construction scoring call is tallied.
+  Application app({1.0, 2.0}, {0.5});
+  Platform platform = Platform::fully_connected({2.0, 1.0, 1.0, 1.0, 1.0},
+                                                10.0);
+  MappingSearchOptions options;
+  options.objective = MappingObjective::kExponential;
+  options.allow_unused_processors = false;
+  options.max_sweeps = 0;
+  options.restarts = 1;
+  const auto result = optimize_mapping(app, platform, options);
+  const std::size_t m = 5, n = 2;
+  EXPECT_EQ(result.evaluations, 1 + (m - n) * (n + 1));
+  // No sweeps ran: the result is exactly the greedy construction.
+  EXPECT_EQ(result.throughput, result.greedy_throughput);
+}
+
+TEST(Heuristics, WarmCacheDoesNotChangeTheResult) {
+  // The search trajectory must be independent of the cache state: a shared
+  // context warmed by a previous identical search returns the identical
+  // mapping, scores, and evaluation count — with all pattern solves served
+  // from the cache.
+  Application app({2.0, 8.0, 3.0}, {1.0, 1.0});
+  Platform platform = Platform::fully_connected(
+      {1.0, 1.5, 2.0, 0.8, 1.2, 2.5, 0.9}, 4.0);
+  Prng prng(3);
+  for (std::size_t p = 0; p < 7; ++p) {
+    for (std::size_t q = p + 1; q < 7; ++q) {
+      platform.set_bandwidth(p, q, 2.0 + 3.0 * prng.uniform01());
+    }
+  }
+  MappingSearchOptions options;
+  options.objective = MappingObjective::kExponential;
+  options.restarts = 3;
+  options.seed = 42;
+
+  const auto cold = optimize_mapping(app, platform, options);
+  AnalysisContext shared;
+  const auto first = optimize_mapping(app, platform, options, shared);
+  const auto warm = optimize_mapping(app, platform, options, shared);
+
+  expect_same_result(cold, first);
+  expect_same_result(cold, warm);
+  EXPECT_GT(first.pattern_cache_misses, 0u);
+  EXPECT_EQ(warm.pattern_cache_misses, 0u);  // fully warm
+  EXPECT_GT(warm.pattern_cache_hits, 0u);
+}
+
+TEST(Heuristics, ReportsCacheStatsPerObjective) {
+  Application app({1.0, 12.0, 1.0}, {0.1, 0.1});
+  Platform platform = Platform::fully_connected(
+      std::vector<double>(6, 1.0), 100.0);
+  MappingSearchOptions options;
+  options.restarts = 2;
+  options.objective = MappingObjective::kDeterministic;
+  const auto det = optimize_mapping(app, platform, options);
+  // The deterministic objective never touches the pattern cache.
+  EXPECT_EQ(det.pattern_cache_hits, 0u);
+  EXPECT_EQ(det.pattern_cache_misses, 0u);
+  EXPECT_GT(det.evaluations, 0u);
 }
 
 TEST(Heuristics, RespectsMaxPathsConstraint) {

@@ -23,6 +23,12 @@ for config in "${configs[@]}"; do
   cmake --build "${build_dir}" -j "${jobs}"
   echo "==> ${config}: test"
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  if [ "${config}" = "Release" ]; then
+    # Smoke-run the search-throughput bench (no timing assertions enforced
+    # here; the SHAPE lines document the cache speedup and bit-identity).
+    echo "==> ${config}: bench smoke (search throughput)"
+    "./${build_dir}/bench_search_throughput" --quick
+  fi
 done
 
 echo "==> all configurations green"

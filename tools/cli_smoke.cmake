@@ -51,6 +51,36 @@ if(NOT dot_out MATCHES "digraph")
   message(FATAL_ERROR "export-tpn did not emit DOT:\n${dot_out}")
 endif()
 
+# search: greedy + local-search mapping optimization through the shared
+# analysis context.
+run_cli(0 search_out search "${instance}" --objective exp --restarts 2 --seed 3)
+if(NOT search_out MATCHES "best mapping" OR
+   NOT search_out MATCHES "pattern cache")
+  message(FATAL_ERROR "search output incomplete:\n${search_out}")
+endif()
+
+# Batch mode: the same instance twice through ONE shared context must print
+# two identical result rows — the search is bit-identical whether the
+# pattern cache is cold (first row) or warm (second row).
+file(WRITE "${WORK_DIR}/scenarios.txt"
+     "# cli_smoke scenarios\nexample.instance\nexample.instance\n")
+run_cli(0 batch_out search --scenarios "${WORK_DIR}/scenarios.txt"
+        --restarts 2 --seed 3)
+if(NOT batch_out MATCHES "shared pattern cache")
+  message(FATAL_ERROR "batch search output incomplete:\n${batch_out}")
+endif()
+string(REGEX MATCHALL "example\\.instance[^\n]*" batch_rows "${batch_out}")
+list(LENGTH batch_rows batch_row_count)
+if(NOT batch_row_count EQUAL 2)
+  message(FATAL_ERROR "expected 2 scenario rows, got ${batch_row_count}:\n${batch_out}")
+endif()
+list(GET batch_rows 0 batch_row_cold)
+list(GET batch_rows 1 batch_row_warm)
+if(NOT batch_row_cold STREQUAL batch_row_warm)
+  message(FATAL_ERROR "search is not cache-state independent:\n"
+                      "cold: ${batch_row_cold}\nwarm: ${batch_row_warm}")
+endif()
+
 # Replicated simulate: must report statistics, and the numbers must be
 # bit-identical for any --threads (only the reported worker count differs).
 run_cli(0 rep1_out simulate "${instance}" --law exp:1 --data-sets 2000

@@ -5,6 +5,9 @@
 //   streamflow simulate <instance-file> [--model overlap|strict]
 //                        [--law <spec>] [--data-sets N] [--seed S]
 //                        [--replications R] [--threads T]
+//   streamflow search <instance-file> [--objective det|exp]
+//                      [--restarts R] [--seed S] [--max-paths P]
+//   streamflow search --scenarios <list-file> [same options]     # batch
 //   streamflow export-tpn <instance-file> [--model overlap|strict]  # DOT
 //   streamflow example > my.instance                                # template
 //
@@ -14,13 +17,26 @@
 // each replication on its own jump-ahead PRNG substream of --seed, and the
 // report gains mean/stddev/95% CI statistics. Results are bit-identical for
 // every --threads value (see README, "Replicated experiments").
+//
+// `search` takes the application and platform of the instance (ignoring its
+// teams) and runs the greedy + local-search mapping heuristics through one
+// AnalysisContext, so communication-pattern solves are cached across the
+// thousands of candidates. `--scenarios FILE` runs every instance listed in
+// FILE (one path per line, '#' comments, relative to FILE's directory)
+// through the SAME shared context: recurring patterns across scenarios are
+// solved once. Results are independent of the cache state (bit-identical
+// warm or cold).
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 #include "common/table.hpp"
+#include "core/analysis_context.hpp"
 #include "core/analyzer.hpp"
+#include "core/heuristics.hpp"
 #include "engine/sim_replication.hpp"
 #include "model/serialization.hpp"
 #include "sim/pipeline_sim.hpp"
@@ -36,6 +52,10 @@ void print_usage(std::ostream& out) {
       << "  streamflow simulate <instance> [--model overlap|strict]\n"
       << "             [--law <spec>] [--data-sets N] [--seed S]\n"
       << "             [--replications R] [--threads T]\n"
+      << "  streamflow search <instance> [--model overlap|strict]\n"
+      << "             [--objective det|exp] [--restarts R] [--seed S]\n"
+      << "             [--max-paths P]\n"
+      << "  streamflow search --scenarios <list-file> [same options]\n"
       << "  streamflow export-tpn <instance> [--model overlap|strict]\n"
       << "  streamflow example\n"
       << "  streamflow help | --help\n"
@@ -43,7 +63,15 @@ void print_usage(std::ostream& out) {
       << "simulate with --replications R > 1 runs R independent replications\n"
       << "on a thread pool (--threads T, 0 = all cores) and reports mean,\n"
       << "stddev, and 95% CI; replication k always uses PRNG substream k of\n"
-      << "--seed, so results are bit-identical for every T.\n";
+      << "--seed, so results are bit-identical for every T.\n"
+      << "\n"
+      << "search finds a high-throughput mapping of the instance's\n"
+      << "application onto its platform (the instance's own teams are\n"
+      << "ignored). All candidate evaluations share one analysis context:\n"
+      << "communication-pattern solves are cached and local-search moves\n"
+      << "are evaluated incrementally. --scenarios runs every instance\n"
+      << "listed in <list-file> (one path per line, '#' comments, paths\n"
+      << "relative to the list file) through the same shared context.\n";
 }
 
 int usage() {
@@ -60,6 +88,11 @@ struct CliArgs {
   std::uint64_t seed = 42;
   std::size_t replications = 1;
   std::size_t threads = 0;  // 0 = hardware concurrency
+  // search options
+  std::string objective;  // "det" | "exp"; empty = per-model default
+  std::string scenarios_path;
+  std::size_t restarts = 4;
+  std::int64_t max_paths = 256;
 };
 
 /// Strict integer parse: the whole token must be consumed (rejects "1e6",
@@ -121,6 +154,23 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
     } else if (a == "--threads") {
       const char* v = next();
       if (!v || !parse_integer(v, args.threads)) return false;
+    } else if (a == "--objective") {
+      const char* v = next();
+      if (!v) return false;
+      const std::string value = v;
+      if (value != "det" && value != "exp") return false;
+      args.objective = value;
+    } else if (a == "--scenarios") {
+      const char* v = next();
+      if (!v) return false;
+      args.scenarios_path = v;
+    } else if (a == "--restarts") {
+      const char* v = next();
+      if (!v || !parse_integer(v, args.restarts)) return false;
+    } else if (a == "--max-paths") {
+      const char* v = next();
+      if (!v || !parse_integer(v, args.max_paths) || args.max_paths <= 0)
+        return false;
     } else if (!a.empty() && a[0] != '-' && positional == 0) {
       args.instance_path = a;
       ++positional;
@@ -227,6 +277,97 @@ int cmd_simulate(const CliArgs& args) {
   return 0;
 }
 
+std::vector<std::string> read_scenarios(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InvalidArgument("cannot open scenario file '" + path + "'");
+  const std::filesystem::path dir =
+      std::filesystem::path(path).parent_path();
+  std::vector<std::string> result;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') continue;
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    const std::string token = line.substr(begin, end - begin + 1);
+    const std::filesystem::path p(token);
+    result.push_back(p.is_absolute() ? p.string() : (dir / p).string());
+  }
+  if (result.empty()) {
+    throw InvalidArgument("scenario file '" + path + "' lists no instances");
+  }
+  return result;
+}
+
+int cmd_search(const CliArgs& args) {
+  if (!args.instance_path.empty() && !args.scenarios_path.empty()) {
+    throw InvalidArgument(
+        "pass either an instance file or --scenarios, not both (list every "
+        "instance in the scenario file)");
+  }
+  MappingSearchOptions options;
+  options.model = args.model;
+  if (args.objective.empty()) {
+    // The exponential objective needs the column method (Overlap only).
+    options.objective = args.model == ExecutionModel::kStrict
+                            ? MappingObjective::kDeterministic
+                            : MappingObjective::kExponential;
+  } else {
+    options.objective = args.objective == "det"
+                            ? MappingObjective::kDeterministic
+                            : MappingObjective::kExponential;
+  }
+  options.restarts = args.restarts;
+  options.seed = args.seed;
+  options.max_paths = args.max_paths;
+
+  const char* objective_name =
+      options.objective == MappingObjective::kDeterministic ? "deterministic"
+                                                            : "exponential";
+  // One context for the whole invocation: pattern solves are shared across
+  // all candidates of all scenarios.
+  AnalysisContext context;
+
+  if (args.scenarios_path.empty()) {
+    const Mapping instance = load(args.instance_path);
+    const auto result = optimize_mapping(instance.application(),
+                                         instance.platform(), options, context);
+    std::cout << "objective    : " << objective_name << " throughput ("
+              << to_string(options.model) << " model)\n";
+    std::cout << "best mapping : " << result.mapping.to_string() << "\n";
+    std::cout << "throughput   : " << result.throughput << "  (greedy start "
+              << result.greedy_throughput << ")\n";
+    std::cout << "evaluations  : " << result.evaluations
+              << "  (pattern cache: " << result.pattern_cache_hits
+              << " hits / " << result.pattern_cache_misses << " misses)\n";
+    return 0;
+  }
+
+  const std::vector<std::string> scenarios =
+      read_scenarios(args.scenarios_path);
+  Table table({"scenario", "stages", "procs", "throughput", "greedy",
+               "evaluations"});
+  table.set_precision(6);
+  for (const std::string& path : scenarios) {
+    const Mapping instance = load(path);
+    const auto result = optimize_mapping(instance.application(),
+                                         instance.platform(), options, context);
+    table.add_row({std::filesystem::path(path).filename().string(),
+                   static_cast<std::int64_t>(instance.num_stages()),
+                   static_cast<std::int64_t>(instance.num_processors()),
+                   result.throughput, result.greedy_throughput,
+                   static_cast<std::int64_t>(result.evaluations)});
+  }
+  table.print(std::cout,
+              std::string("mapping search (") + objective_name +
+                  " objective, seed " + std::to_string(args.seed) + ")");
+  const AnalysisCacheStats& stats = context.stats();
+  std::cout << "\nshared pattern cache: " << context.pattern_cache_size()
+            << " entries, " << stats.pattern_hits << " hits / "
+            << stats.pattern_misses << " misses across " << scenarios.size()
+            << " scenario(s)\n";
+  return 0;
+}
+
 int cmd_export_tpn(const CliArgs& args) {
   const Mapping mapping = load(args.instance_path);
   const TimedEventGraph g = build_tpn(mapping, args.model);
@@ -255,6 +396,10 @@ int main(int argc, char** argv) {
   }
   try {
     if (args.command == "example") return cmd_example();
+    if (args.command == "search" &&
+        (!args.instance_path.empty() || !args.scenarios_path.empty())) {
+      return cmd_search(args);
+    }
     if (args.instance_path.empty()) return usage();
     if (args.command == "analyze") return cmd_analyze(args);
     if (args.command == "simulate") return cmd_simulate(args);
