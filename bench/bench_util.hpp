@@ -6,18 +6,26 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/table.hpp"
 
 namespace streamflow::bench {
 
 /// Parses the standard bench flags. --csv prints the raw series as CSV after
-/// the table; --quick shrinks the workload (used by CI / smoke runs).
+/// the table; --quick shrinks the workload (used by CI / smoke runs);
+/// --json PATH writes a machine-readable summary (rates, cache statistics,
+/// shape verdicts) that CI archives as an artifact.
 struct BenchArgs {
   bool csv = false;
   bool quick = false;
+  std::string json_path;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -25,10 +33,88 @@ struct BenchArgs {
       const std::string a = argv[i];
       if (a == "--csv") args.csv = true;
       if (a == "--quick") args.quick = true;
+      if (a == "--json") {
+        // A missing or flag-shaped value would silently swallow the next
+        // option (or write nothing at all); fail loudly instead so a CI
+        // step never waits on an artifact that was never going to appear.
+        if (i + 1 >= argc || argv[i + 1][0] == '-') {
+          std::cerr << "error: --json requires an output path\n";
+          std::exit(2);
+        }
+        args.json_path = argv[++i];
+      }
     }
     return args;
   }
 };
+
+/// Minimal ordered JSON-object builder for the --json summaries: keys keep
+/// insertion order, doubles round-trip (max_digits10), nesting via the
+/// JsonObject overload of set(). No external dependency, no escapes beyond
+/// quote/backslash (bench keys and labels are plain ASCII).
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double value) {
+    // JSON has no inf/nan literals; emit null so the artifact always
+    // parses (a zero-duration timing would otherwise produce "inf").
+    if (!std::isfinite(value)) return raw(key, "null");
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return raw(key, os.str());
+  }
+  JsonObject& set(const std::string& key, std::size_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonObject& set(const std::string& key, std::int64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonObject& set(const std::string& key, int value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonObject& set(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+  JsonObject& set(const std::string& key, const std::string& value) {
+    return raw(key, quote(value));
+  }
+  JsonObject& set(const std::string& key, const char* value) {
+    return raw(key, quote(value));
+  }
+  JsonObject& set(const std::string& key, const JsonObject& value) {
+    return raw(key, value.str());
+  }
+
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+  JsonObject& raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ",";
+    body_ += quote(key) + ":" + value;
+    return *this;
+  }
+
+  std::string body_;
+};
+
+/// Writes the summary when --json was requested (no-op otherwise).
+inline void write_json(const BenchArgs& args, const JsonObject& summary) {
+  if (args.json_path.empty()) return;
+  std::ofstream out(args.json_path);
+  if (!out) {
+    throw InvalidArgument("cannot open --json output file '" +
+                          args.json_path + "'");
+  }
+  out << summary.str() << "\n";
+}
 
 inline void emit(const Table& table, const std::string& title,
                  const BenchArgs& args) {

@@ -1,8 +1,9 @@
 // Mapping-search evaluation throughput: shared AnalysisContext versus the
-// throwaway-context baseline.
+// throwaway-context baseline, and shared-instance candidate construction
+// versus the deep-copy path it replaced.
 //
-// The workload models what local search actually does: repeated sweeps over
-// the migrate/swap neighbourhood of a base mapping (every sweep re-probes
+// Part 1 models what local search actually does: repeated sweeps over the
+// migrate/swap neighbourhood of a base mapping (every sweep re-probes
 // nearly the same candidates). The baseline path evaluates each candidate
 // with the free exponential_throughput() (a fresh context every time, so
 // every communication pattern is re-solved on its Young-diagram CTMC); the
@@ -12,7 +13,18 @@
 // bit-identical between the two paths, and the shape check asserts the
 // >= 3x evaluations/sec speedup the caching layer exists for.
 //
-//   ./build/bench_search_throughput [--csv] [--quick]
+// Part 2 is the large-platform sweep: once the pattern cache is warm, what
+// dominated evaluate_move was constructing the candidate Mapping itself —
+// the pre-sharing path deep-copied the Application and the M x M bandwidth
+// matrix and re-ran the full O(N * R^2) constructor validation per
+// candidate. With hundreds of processors that copy is the bottleneck. The
+// sweep times the same warm move evaluations under
+// CandidatePolicy::kCopyValidate (the old path, kept as the reference
+// implementation) and CandidatePolicy::kSharedDerive (shared immutable
+// instance + touched-team-only revalidation), checks the scores
+// bit-identical, and asserts the >= 2x speedup on the largest platform.
+//
+//   ./build/bench_search_throughput [--csv] [--quick] [--json PATH]
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,6 +58,25 @@ Mapping default_instance() {
                  {{0, 1}, {2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11}, {12, 13}});
 }
 
+/// 4-stage pipeline mapped on 9 of `m` processors: the platform (speeds and
+/// the full heterogeneous bandwidth matrix) scales with m, the mapped teams
+/// and therefore the pattern-solve work do not. This isolates the
+/// per-candidate construction cost the instance-sharing refactor removed.
+Mapping large_instance(std::size_t m) {
+  Application app({2.0, 6.0, 4.0, 1.5}, {1.0, 2.0, 0.5});
+  Prng prng(777);
+  std::vector<double> speeds(m);
+  for (double& s : speeds) s = 0.5 + 2.0 * prng.uniform01();
+  Platform platform(speeds);
+  for (std::size_t p = 0; p < m; ++p) {
+    for (std::size_t q = p + 1; q < m; ++q) {
+      platform.set_bandwidth(p, q, 2.0 + 4.0 * prng.uniform01());
+    }
+  }
+  return Mapping(make_instance(std::move(app), std::move(platform)),
+                 {{0, 1}, {2, 3, 4}, {5, 6}, {7, 8}});
+}
+
 std::vector<MappingMove> neighbourhood(const Mapping& base) {
   const std::size_t n = base.num_stages();
   const std::size_t m = base.num_processors();
@@ -59,6 +90,32 @@ std::vector<MappingMove> neighbourhood(const Mapping& base) {
   }
   for (std::size_t p = 0; p < m; ++p) {
     for (std::size_t q = p + 1; q < m; ++q) {
+      if (base.stage_of(p) == base.stage_of(q)) continue;
+      moves.push_back(MappingMove::swap(p, q));
+    }
+  }
+  return moves;
+}
+
+/// A bounded move set for the large platforms (the full neighbourhood has
+/// O(m^2) swaps): migrations of the first processors to every stage, plus
+/// swaps within the first 16 processors.
+std::vector<MappingMove> bounded_neighbourhood(const Mapping& base,
+                                               std::size_t max_migrators) {
+  const std::size_t n = base.num_stages();
+  const std::size_t m = base.num_processors();
+  std::vector<MappingMove> moves;
+  const std::size_t migrators = std::min(m, max_migrators);
+  for (std::size_t p = 0; p < migrators; ++p) {
+    for (std::size_t i = 0; i <= n; ++i) {
+      const std::size_t target = i == n ? Mapping::kUnused : i;
+      if (target == base.stage_of(p)) continue;
+      moves.push_back(MappingMove::migrate(p, target));
+    }
+  }
+  const std::size_t swappers = std::min<std::size_t>(m, 16);
+  for (std::size_t p = 0; p < swappers; ++p) {
+    for (std::size_t q = p + 1; q < swappers; ++q) {
       if (base.stage_of(p) == base.stage_of(q)) continue;
       moves.push_back(MappingMove::swap(p, q));
     }
@@ -94,10 +151,51 @@ std::optional<double> evaluate_throwaway(const Mapping& base,
   }
 }
 
+struct PolicyRun {
+  double seconds = 0.0;
+  std::vector<std::optional<double>> scores;
+};
+
+/// Warm the context (one uncounted sweep populates the pattern cache and
+/// base columns), then time `sweeps` sweeps of evaluate_move under the
+/// given candidate-construction policy.
+PolicyRun run_policy(const Mapping& base, const std::vector<MappingMove>& moves,
+                     const MappingSearchOptions& options,
+                     CandidatePolicy policy, std::size_t sweeps) {
+  AnalysisContext context;
+  context.set_candidate_policy(policy);
+  context.set_base(base, options);
+  for (const MappingMove& move : moves) context.evaluate_move(move);  // warm
+
+  PolicyRun run;
+  run.scores.reserve(sweeps * moves.size());
+  streamflow::bench::Stopwatch watch;
+  for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+    for (const MappingMove& move : moves) {
+      run.scores.push_back(context.evaluate_move(move));
+    }
+  }
+  run.seconds = watch.seconds();
+  return run;
+}
+
+std::size_t count_mismatches(const std::vector<std::optional<double>>& a,
+                             const std::vector<std::optional<double>>& b) {
+  std::size_t mismatches = 0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k].has_value() != b[k].has_value() ||
+        (a[k] && *a[k] != *b[k])) {
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using streamflow::bench::BenchArgs;
+  using streamflow::bench::JsonObject;
   using streamflow::bench::Stopwatch;
 
   const BenchArgs args = BenchArgs::parse(argc, argv);
@@ -133,14 +231,10 @@ int main(int argc, char** argv) {
   }
   const double cached_seconds = cached_watch.seconds();
 
-  std::size_t mismatches = 0;
+  const std::size_t mismatches = count_mismatches(baseline_scores, cached_scores);
   std::size_t feasible = 0;
-  for (std::size_t k = 0; k < baseline_scores.size(); ++k) {
-    if (baseline_scores[k].has_value() != cached_scores[k].has_value() ||
-        (baseline_scores[k] && *baseline_scores[k] != *cached_scores[k])) {
-      ++mismatches;
-    }
-    if (baseline_scores[k]) ++feasible;
+  for (const auto& score : baseline_scores) {
+    if (score) ++feasible;
   }
 
   const double evaluations = static_cast<double>(sweeps * moves.size());
@@ -170,13 +264,96 @@ int main(int argc, char** argv) {
             << " recomputed\n";
   std::cout << "speedup: " << speedup << "x\n\n";
 
+  // ---- Part 2: large-platform candidate-construction sweep ----------------
+  const std::vector<std::size_t> platform_sizes =
+      args.quick ? std::vector<std::size_t>{160}
+                 : std::vector<std::size_t>{160, 320, 480};
+  const std::size_t policy_sweeps = args.quick ? 2 : 3;
+
+  streamflow::Table policy_table({"processors", "moves", "copy evals/sec",
+                                  "shared evals/sec", "speedup"});
+  policy_table.set_precision(4);
+  JsonObject large_json;
+  double largest_policy_speedup = 0.0;
+  std::size_t policy_mismatches = 0;
+  for (const std::size_t m : platform_sizes) {
+    const Mapping big = large_instance(m);
+    const std::vector<MappingMove> big_moves =
+        bounded_neighbourhood(big, /*max_migrators=*/24);
+    const PolicyRun copy = run_policy(big, big_moves, options,
+                                      CandidatePolicy::kCopyValidate,
+                                      policy_sweeps);
+    const PolicyRun shared = run_policy(big, big_moves, options,
+                                        CandidatePolicy::kSharedDerive,
+                                        policy_sweeps);
+    policy_mismatches += count_mismatches(copy.scores, shared.scores);
+
+    const double policy_evals =
+        static_cast<double>(policy_sweeps * big_moves.size());
+    const double copy_rate = policy_evals / copy.seconds;
+    const double shared_rate = policy_evals / shared.seconds;
+    const double policy_speedup = shared_rate / copy_rate;
+    largest_policy_speedup = policy_speedup;  // sizes are ascending
+    policy_table.add_row({static_cast<std::int64_t>(m),
+                          static_cast<std::int64_t>(big_moves.size()),
+                          copy_rate, shared_rate, policy_speedup});
+    JsonObject row;
+    row.set("processors", m)
+        .set("moves", big_moves.size())
+        .set("sweeps", policy_sweeps)
+        .set("copy_evals_per_sec", copy_rate)
+        .set("shared_evals_per_sec", shared_rate)
+        .set("speedup", policy_speedup);
+    large_json.set("m" + std::to_string(m), row);
+  }
+  streamflow::bench::emit(
+      policy_table,
+      "warm evaluate_move: deep-copy candidates vs shared-instance derive",
+      args);
+  std::cout << "\n";
+
+  const bool default_identical = mismatches == 0;
+  const bool default_speedup_ok = speedup >= 3.0;
+  const bool policy_identical = policy_mismatches == 0;
+  const bool policy_speedup_ok = largest_policy_speedup >= 2.0;
   streamflow::bench::shape_check(
-      mismatches == 0,
+      default_identical,
       "cached/incremental scores bit-identical to the throwaway path (" +
           std::to_string(mismatches) + " mismatches)");
   streamflow::bench::shape_check(
-      speedup >= 3.0,
+      default_speedup_ok,
       "shared context >= 3x evaluations/sec vs throwaway contexts (got " +
           std::to_string(speedup) + "x)");
+  streamflow::bench::shape_check(
+      policy_identical,
+      "shared-instance candidates score bit-identical to deep-copy "
+      "candidates (" +
+          std::to_string(policy_mismatches) + " mismatches)");
+  streamflow::bench::shape_check(
+      policy_speedup_ok,
+      "shared-instance derive >= 2x evaluations/sec vs deep-copy candidates "
+      "on the largest platform (got " +
+          std::to_string(largest_policy_speedup) + "x)");
+
+  JsonObject summary;
+  JsonObject default_json;
+  default_json.set("sweeps", sweeps)
+      .set("moves", moves.size())
+      .set("feasible", feasible)
+      .set("throwaway_evals_per_sec", baseline_rate)
+      .set("cached_evals_per_sec", cached_rate)
+      .set("speedup", speedup)
+      .set("mismatches", mismatches)
+      .set("pattern_solves", stats.pattern_misses)
+      .set("pattern_hits", stats.pattern_hits)
+      .set("columns_reused", stats.columns_reused)
+      .set("columns_recomputed", stats.columns_recomputed);
+  summary.set("bench", "search_throughput")
+      .set("quick", args.quick)
+      .set("default_instance", default_json)
+      .set("large_platform", large_json)
+      .set("shape_ok", default_identical && default_speedup_ok &&
+                           policy_identical && policy_speedup_ok);
+  streamflow::bench::write_json(args, summary);
   return 0;
 }

@@ -44,6 +44,9 @@ int main() {
   std::cout << "application: " << app.to_string() << "\n";
   std::cout << "platform   : " << platform.to_string() << "\n\n";
 
+  // One shared immutable instance: both searches (thousands of candidate
+  // mappings) reference it without ever copying the bandwidth matrix.
+  const InstancePtr instance = make_instance(app, platform);
   AnalysisContext context;  // shared by both searches below
   for (const MappingObjective objective :
        {MappingObjective::kDeterministic, MappingObjective::kExponential}) {
@@ -51,7 +54,7 @@ int main() {
     options.objective = objective;
     options.restarts = 6;
     options.seed = 7;
-    const auto result = optimize_mapping(app, platform, options, context);
+    const auto result = optimize_mapping(instance, options, context);
 
     const double det =
         deterministic_throughput(result.mapping, ExecutionModel::kOverlap)

@@ -20,11 +20,11 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 /// Assignment representation: stage index per processor (or kUnassigned).
 using Assignment = std::vector<std::size_t>;
 
-std::optional<Mapping> realize(const Application& application,
-                               const Platform& platform,
+std::optional<Mapping> realize(const InstancePtr& instance,
                                const Assignment& assignment,
                                std::int64_t max_paths) {
-  std::vector<std::vector<std::size_t>> teams(application.num_stages());
+  std::vector<std::vector<std::size_t>> teams(
+      instance->application.num_stages());
   for (std::size_t p = 0; p < assignment.size(); ++p) {
     if (assignment[p] != kUnassigned) teams[assignment[p]].push_back(p);
   }
@@ -32,7 +32,9 @@ std::optional<Mapping> realize(const Application& application,
     if (team.empty()) return std::nullopt;
   }
   try {
-    Mapping mapping(application, platform, teams);
+    // Shares `instance` — realizing an assignment never copies the
+    // application or the bandwidth matrix.
+    Mapping mapping(instance, std::move(teams));
     if (mapping.num_paths() > max_paths) return std::nullopt;
     return mapping;
   } catch (const InvalidArgument&) {
@@ -56,16 +58,14 @@ void apply_move(Assignment& assignment, const MappingMove& move) {
 /// back to full throwaway evaluations through the same context.
 class SearchState {
  public:
-  SearchState(const Application& application, const Platform& platform,
+  SearchState(const InstancePtr& instance,
               const MappingSearchOptions& options, AnalysisContext& context,
               Assignment assignment)
-      : application_(application),
-        platform_(platform),
+      : instance_(instance),
         options_(options),
         context_(context),
         assignment_(std::move(assignment)) {
-    auto mapping =
-        realize(application_, platform_, assignment_, options_.max_paths);
+    auto mapping = realize(instance_, assignment_, options_.max_paths);
     if (mapping) {
       current_ = context_.set_base(std::move(*mapping), options_);
       has_base_ = true;
@@ -82,8 +82,7 @@ class SearchState {
     if (has_base_) return context_.evaluate_move(move);
     Assignment tentative = assignment_;
     apply_move(tentative, move);
-    auto mapping =
-        realize(application_, platform_, tentative, options_.max_paths);
+    auto mapping = realize(instance_, tentative, options_.max_paths);
     if (!mapping) return std::nullopt;
     return context_.objective(*mapping, options_);
   }
@@ -95,8 +94,7 @@ class SearchState {
     if (has_base_) {
       context_.commit_move(move);
     } else {
-      auto mapping =
-          realize(application_, platform_, assignment_, options_.max_paths);
+      auto mapping = realize(instance_, assignment_, options_.max_paths);
       SF_ASSERT(mapping.has_value(),
                 "adopted a move whose probe reported it feasible");
       // The score is already known; re-base without recounting.
@@ -108,8 +106,7 @@ class SearchState {
   }
 
  private:
-  const Application& application_;
-  const Platform& platform_;
+  const InstancePtr& instance_;
   const MappingSearchOptions& options_;
   AnalysisContext& context_;
   Assignment assignment_;
@@ -258,6 +255,12 @@ double evaluate_mapping(const Mapping& mapping,
   return context.objective(mapping, options);
 }
 
+MappingSearchResult optimize_mapping(const InstancePtr& instance,
+                                     const MappingSearchOptions& options) {
+  AnalysisContext context;
+  return optimize_mapping(instance, options, context);
+}
+
 MappingSearchResult optimize_mapping(const Application& application,
                                      const Platform& platform,
                                      const MappingSearchOptions& options) {
@@ -269,6 +272,18 @@ MappingSearchResult optimize_mapping(const Application& application,
                                      const Platform& platform,
                                      const MappingSearchOptions& options,
                                      AnalysisContext& context) {
+  // The one instance copy of the whole search: every candidate below
+  // shares this allocation.
+  return optimize_mapping(make_instance(application, platform), options,
+                          context);
+}
+
+MappingSearchResult optimize_mapping(const InstancePtr& instance,
+                                     const MappingSearchOptions& options,
+                                     AnalysisContext& context) {
+  SF_REQUIRE(instance != nullptr, "optimize_mapping requires an instance");
+  const Application& application = instance->application;
+  const Platform& platform = instance->platform;
   SF_REQUIRE(platform.num_processors() >= application.num_stages(),
              "need at least one processor per stage");
   if (options.objective == MappingObjective::kExponential) {
@@ -282,7 +297,7 @@ MappingSearchResult optimize_mapping(const Application& application,
 
   const std::vector<std::size_t> procs_by_speed = processors_by_speed(platform);
   SearchState greedy_state(
-      application, platform, options, context,
+      instance, options, context,
       initial_greedy_assignment(application, platform, procs_by_speed));
   greedy_place_extras(greedy_state, application, procs_by_speed, options);
   const double greedy_score = greedy_state.current();
@@ -290,7 +305,7 @@ MappingSearchResult optimize_mapping(const Application& application,
   Assignment best_assignment = greedy_state.assignment();
 
   for (std::size_t restart = 1; restart < options.restarts; ++restart) {
-    SearchState state(application, platform, options, context,
+    SearchState state(instance, options, context,
                       random_assignment(application, platform, prng));
     if (!state.feasible()) continue;  // random draw infeasible on this platform
     const double score = local_search(state, options, n);
@@ -300,8 +315,7 @@ MappingSearchResult optimize_mapping(const Application& application,
     }
   }
 
-  auto mapping =
-      realize(application, platform, best_assignment, options.max_paths);
+  auto mapping = realize(instance, best_assignment, options.max_paths);
   SF_ASSERT(mapping.has_value(), "search ended on an infeasible assignment");
   const AnalysisCacheStats& after = context.stats();
   return MappingSearchResult{std::move(*mapping),

@@ -78,6 +78,18 @@ struct MappingSearchResult {
 /// The overload without a context uses a private throwaway
 /// AnalysisContext; pass a shared context to reuse pattern solves across
 /// searches (results are identical either way — see the determinism tests).
+///
+/// The InstancePtr overloads are the primary entry points: every candidate
+/// mapping of the whole search shares that one immutable instance (no copy
+/// of the application or the bandwidth matrix, ever — asserted in
+/// tests/test_heuristics.cpp). The (application, platform) overloads are
+/// compatibility wrappers that bundle their arguments into one shared
+/// instance up front and forward.
+MappingSearchResult optimize_mapping(const InstancePtr& instance,
+                                     const MappingSearchOptions& options = {});
+MappingSearchResult optimize_mapping(const InstancePtr& instance,
+                                     const MappingSearchOptions& options,
+                                     AnalysisContext& context);
 MappingSearchResult optimize_mapping(const Application& application,
                                      const Platform& platform,
                                      const MappingSearchOptions& options = {});

@@ -1,0 +1,10 @@
+#include "model/instance.hpp"
+
+namespace streamflow {
+
+InstancePtr make_instance(Application application, Platform platform) {
+  return std::make_shared<const Instance>(std::move(application),
+                                          std::move(platform));
+}
+
+}  // namespace streamflow

@@ -1,0 +1,35 @@
+// The shared immutable problem instance: one Application mapped onto one
+// Platform. Mappings reference their instance through a
+// std::shared_ptr<const Instance>, so constructing search candidates,
+// copying mappings, and returning them by value never duplicates the M x M
+// bandwidth matrix. Immutability makes the sharing thread-safe: concurrent
+// searches and replicated simulations may read one instance from many
+// threads without synchronization (covered by the TSan job).
+#pragma once
+
+#include <memory>
+
+#include "model/application.hpp"
+#include "model/platform.hpp"
+
+namespace streamflow {
+
+struct Instance {
+  Application application;
+  Platform platform;
+
+  Instance(Application application_, Platform platform_)
+      : application(std::move(application_)), platform(std::move(platform_)) {}
+};
+
+/// Shared handle to an immutable instance. Copying the handle is O(1); the
+/// Application/Platform payload is allocated exactly once.
+using InstancePtr = std::shared_ptr<const Instance>;
+
+/// Bundles an application and a platform into one shared immutable
+/// instance. This is the single allocation point: everything derived from
+/// the returned handle (mappings, search candidates, serialization round
+/// trips) shares it.
+InstancePtr make_instance(Application application, Platform platform);
+
+}  // namespace streamflow

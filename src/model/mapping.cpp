@@ -17,13 +17,13 @@ double CycleTime::exec(ExecutionModel model) const {
   return input + compute + output;
 }
 
-Mapping::Mapping(Application application, Platform platform,
-                 std::vector<std::vector<std::size_t>> teams)
-    : application_(std::move(application)),
-      platform_(std::move(platform)),
-      teams_(std::move(teams)) {
-  const std::size_t n = application_.num_stages();
-  const std::size_t m = platform_.num_processors();
+Mapping::Mapping(InstancePtr instance,
+                 std::vector<std::vector<std::size_t>> teams,
+                 const std::vector<char>* validate_column)
+    : instance_(std::move(instance)), teams_(std::move(teams)) {
+  SF_REQUIRE(instance_ != nullptr, "mapping requires a non-null instance");
+  const std::size_t n = application().num_stages();
+  const std::size_t m = platform().num_processors();
   SF_REQUIRE(teams_.size() == n, "need exactly one team per stage");
 
   stage_of_.assign(m, kUnused);
@@ -46,12 +46,26 @@ Mapping::Mapping(Application application, Platform platform,
 
   // Every inter-team link must exist (positive bandwidth) unless the file is
   // empty; sender == receiver would mean the same processor serves two
-  // stages, which the one-stage-per-processor rule already excludes.
+  // stages, which the one-stage-per-processor rule already excludes. The
+  // with_teams derive path narrows this O(N * R^2) pass to the columns a
+  // move touched (untouched columns are covered by the base's invariants);
+  // Debug builds keep checking every column so a trust violation trips the
+  // assert below instead of corrupting an analysis.
   for (std::size_t i = 0; i + 1 < n; ++i) {
-    if (application_.file_size(i) == 0.0) continue;
+    const bool trusted = validate_column != nullptr && !(*validate_column)[i];
+#ifdef NDEBUG
+    if (trusted) continue;
+#endif
+    if (application().file_size(i) == 0.0) continue;
     for (std::size_t p : teams_[i]) {
       for (std::size_t q : teams_[i + 1]) {
-        SF_REQUIRE(platform_.bandwidth(p, q) > 0.0,
+        if (trusted) {
+          SF_ASSERT(platform().bandwidth(p, q) > 0.0,
+                    "with_teams skipped validating a column whose teams "
+                    "changed (incomplete touched_stages list)");
+          continue;
+        }
+        SF_REQUIRE(platform().bandwidth(p, q) > 0.0,
                    "no bandwidth defined between processors " +
                        std::to_string(p) + " and " + std::to_string(q) +
                        " used by stages " + std::to_string(i + 1) + " -> " +
@@ -67,6 +81,33 @@ Mapping::Mapping(Application application, Platform platform,
   num_paths_ = checked_lcm(std::span<const std::int64_t>(factors));
 }
 
+Mapping::Mapping(InstancePtr instance,
+                 std::vector<std::vector<std::size_t>> teams)
+    : Mapping(std::move(instance), std::move(teams),
+              /*validate_column=*/nullptr) {}
+
+Mapping::Mapping(Application application, Platform platform,
+                 std::vector<std::vector<std::size_t>> teams)
+    : Mapping(make_instance(std::move(application), std::move(platform)),
+              std::move(teams), /*validate_column=*/nullptr) {}
+
+Mapping Mapping::with_teams(const Mapping& base,
+                            std::vector<std::vector<std::size_t>> teams,
+                            const std::vector<std::size_t>& touched_stages) {
+  const std::size_t n = base.num_stages();
+  SF_REQUIRE(teams.size() == n, "need exactly one team per stage");
+  // Column i sits between stages i and i+1: revalidate it iff one of its
+  // endpoint teams changed.
+  std::vector<char> validate(n == 0 ? 0 : n - 1, 0);
+  for (const std::size_t stage : touched_stages) {
+    if (stage == kUnused) continue;
+    SF_REQUIRE(stage < n, "touched stage index out of range");
+    if (stage > 0) validate[stage - 1] = 1;
+    if (stage + 1 < n) validate[stage] = 1;
+  }
+  return Mapping(base.instance_, std::move(teams), &validate);
+}
+
 std::vector<std::size_t> Mapping::replications() const {
   std::vector<std::size_t> r;
   r.reserve(teams_.size());
@@ -76,6 +117,9 @@ std::vector<std::size_t> Mapping::replications() const {
 
 std::vector<std::size_t> Mapping::path(std::int64_t j) const {
   SF_REQUIRE(j >= 0, "path index must be non-negative");
+  SF_REQUIRE(j < num_paths_,
+             "path index " + std::to_string(j) + " out of range (m = " +
+                 std::to_string(num_paths_) + " paths)");
   std::vector<std::size_t> p;
   p.reserve(teams_.size());
   for (const auto& team : teams_)
@@ -87,7 +131,7 @@ std::vector<std::size_t> Mapping::path(std::int64_t j) const {
 double Mapping::comp_time(std::size_t p) const {
   const std::size_t stage = stage_of(p);
   SF_REQUIRE(stage != kUnused, "processor is not mapped to any stage");
-  return application_.work(stage) / platform_.speed(p);
+  return application().work(stage) / platform().speed(p);
 }
 
 double Mapping::comm_time(std::size_t sender, std::size_t receiver) const {
@@ -95,9 +139,9 @@ double Mapping::comm_time(std::size_t sender, std::size_t receiver) const {
   SF_REQUIRE(i != kUnused, "sender is not mapped");
   SF_REQUIRE(stage_of(receiver) == i + 1,
              "receiver must serve the stage following the sender's");
-  const double delta = application_.file_size(i);
+  const double delta = application().file_size(i);
   if (delta == 0.0) return 0.0;
-  return delta / platform_.bandwidth(sender, receiver);
+  return delta / platform().bandwidth(sender, receiver);
 }
 
 CycleTime Mapping::cycle_time(std::size_t p) const {
@@ -113,8 +157,8 @@ CycleTime Mapping::cycle_time(std::size_t p) const {
   // pacing is real for stages with a downstream collector but is not a
   // valid bound for a replicated last stage, so the slowest-member term is
   // accounted for separately in max_cycle_time().
-  ct.compute = application_.work(i) /
-               (static_cast<double>(r_i) * platform_.speed(p));
+  ct.compute = application().work(i) /
+               (static_cast<double>(r_i) * platform().speed(p));
 
   // C_in: average busy time of p's input port per global data set. p's
   // occurrences are the rows j = a (mod R_i); the sender pattern repeats
@@ -152,15 +196,15 @@ CycleTime Mapping::cycle_time(std::size_t p) const {
 double Mapping::max_cycle_time(ExecutionModel model,
                                MctConvention convention) const {
   auto slowest_compute = [this](std::size_t i) {
-    double slow_speed = platform_.speed(teams_[i][0]);
+    double slow_speed = platform().speed(teams_[i][0]);
     for (std::size_t q : teams_[i])
-      slow_speed = std::min(slow_speed, platform_.speed(q));
-    return application_.work(i) /
+      slow_speed = std::min(slow_speed, platform().speed(q));
+    return application().work(i) /
            (static_cast<double>(teams_[i].size()) * slow_speed);
   };
 
   double mct = 0.0;
-  for (std::size_t p = 0; p < platform_.num_processors(); ++p) {
+  for (std::size_t p = 0; p < platform().num_processors(); ++p) {
     if (stage_of_[p] == kUnused) continue;
     CycleTime ct = cycle_time(p);
     if (convention == MctConvention::kPaperSlowestMember) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "model/application.hpp"
+#include "model/instance.hpp"
 #include "model/platform.hpp"
 
 namespace streamflow {
@@ -45,16 +46,46 @@ struct CycleTime {
 ///  * no processor serves more than one stage;
 ///  * every link used by consecutive teams has a positive bandwidth;
 ///  * the number of round-robin paths m = lcm(R_1..R_N) fits in int64.
+///
+/// The problem instance is held as a shared immutable InstancePtr:
+/// constructing, copying, and deriving mappings never duplicates the
+/// Application or the M x M bandwidth matrix. Mappings built from the same
+/// handle (or derived via with_teams) share one instance allocation.
 class Mapping {
  public:
+  /// Primary constructor: maps a shared instance with the given teams,
+  /// running the full validation above.
+  Mapping(InstancePtr instance, std::vector<std::vector<std::size_t>> teams);
+
+  /// Compatibility constructor: wraps the application and platform into a
+  /// freshly allocated shared instance (one allocation here — derived
+  /// mappings share it). Prefer the InstancePtr overload when constructing
+  /// many mappings of one instance.
   Mapping(Application application, Platform platform,
           std::vector<std::vector<std::size_t>> teams);
 
-  const Application& application() const { return application_; }
-  const Platform& platform() const { return platform_; }
+  /// Trusted derive-from-base construction for local search: shares the
+  /// base's instance and revalidates ONLY the inter-team links adjacent to
+  /// a stage listed in `touched_stages` (entries equal to kUnused are
+  /// ignored). Safe because the base's invariants already cover every
+  /// untouched column: a column between two untouched teams is exactly the
+  /// base's column, and the base validated it at construction. The caller
+  /// must list every stage whose team membership differs from the base;
+  /// Debug builds verify the skip with a full validation pass.
+  /// Structural checks (teams partition the processors, no empty team, lcm
+  /// cap) always run — they are O(M + N) and independent of the platform.
+  static Mapping with_teams(const Mapping& base,
+                            std::vector<std::vector<std::size_t>> teams,
+                            const std::vector<std::size_t>& touched_stages);
 
-  std::size_t num_stages() const { return application_.num_stages(); }
-  std::size_t num_processors() const { return platform_.num_processors(); }
+  /// The shared immutable problem instance this mapping refers to.
+  const InstancePtr& instance() const { return instance_; }
+
+  const Application& application() const { return instance_->application; }
+  const Platform& platform() const { return instance_->platform; }
+
+  std::size_t num_stages() const { return application().num_stages(); }
+  std::size_t num_processors() const { return platform().num_processors(); }
 
   /// Team_i: the processors executing stage i (0-based), in round-robin
   /// order.
@@ -90,6 +121,9 @@ class Mapping {
 
   /// The j-th path: processor executing each stage for data sets
   /// {j, j+m, j+2m, ...}; path(j)[i] = Team_i[j mod R_i].
+  /// Requires 0 <= j < num_paths(): the paths are periodic with period m,
+  /// so an index past the end is a caller bug, not a request for path
+  /// j mod m.
   std::vector<std::size_t> path(std::int64_t j) const;
 
   // ---- Deterministic timing (means in the probabilistic setting) ----------
@@ -129,8 +163,13 @@ class Mapping {
   std::string to_string() const;
 
  private:
-  Application application_;
-  Platform platform_;
+  /// Shared implementation of the validating constructors and with_teams:
+  /// when `validate_column` is non-null, only columns it flags get the
+  /// O(R^2) link-bandwidth check (the structural checks always run).
+  Mapping(InstancePtr instance, std::vector<std::vector<std::size_t>> teams,
+          const std::vector<char>* validate_column);
+
+  InstancePtr instance_;
   std::vector<std::vector<std::size_t>> teams_;
   std::vector<std::size_t> stage_of_;
   std::vector<std::size_t> team_index_of_;

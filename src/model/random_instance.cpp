@@ -114,7 +114,10 @@ Mapping random_instance(const RandomInstanceOptions& options, Prng& prng) {
     }
   }
 
-  return Mapping(std::move(app), std::move(platform), std::move(teams));
+  // One shared allocation per generated instance (derived mappings and
+  // search candidates share it instead of copying the bandwidth matrix).
+  return Mapping(make_instance(std::move(app), std::move(platform)),
+                 std::move(teams));
 }
 
 }  // namespace streamflow

@@ -131,7 +131,10 @@ Mapping load_instance(std::istream& is) {
         fail(line_number, "team stage index out of range");
       team_list[stage] = std::move(members);
     }
-    return Mapping(std::move(app), std::move(platform), std::move(team_list));
+    // One shared allocation: everything derived from the loaded mapping
+    // (search candidates, re-teamed variants) shares this instance.
+    return Mapping(make_instance(std::move(app), std::move(platform)),
+                   std::move(team_list));
   } catch (const InvalidArgument& error) {
     throw InvalidArgument(std::string("instance semantic error: ") +
                           error.what());

@@ -308,6 +308,64 @@ TEST(AnalysisContext, CacheSharesPatternsAcrossMappings) {
   EXPECT_GE(context.stats().pattern_misses, misses_after_first);
 }
 
+TEST(AnalysisContext, EvaluateAndCommitShareTheBaseInstance) {
+  // Candidate mappings derive from the base via Mapping::with_teams: the
+  // instance allocation is shared through probe and commit alike, never
+  // copied.
+  const Mapping base = base_instance();
+  const Instance* allocation = base.instance().get();
+  MappingSearchOptions options;
+  AnalysisContext context;
+  context.set_base(base, options);
+  EXPECT_EQ(context.base_mapping().instance().get(), allocation);
+
+  const MappingMove move = MappingMove::swap(2, 5);
+  ASSERT_TRUE(context.evaluate_move(move).has_value());
+  context.commit_move(move);
+  EXPECT_EQ(context.base_mapping().instance().get(), allocation);
+}
+
+TEST(AnalysisContext, CandidatePolicyScoresAreBitIdentical) {
+  // Every move of the full neighbourhood — feasible and infeasible alike —
+  // must score identically under the deep-copy reference policy and the
+  // shared-derive policy, for both objectives.
+  const Mapping base = base_instance();
+  const std::size_t n = base.num_stages();
+  const std::size_t m = base.num_processors();
+
+  for (const MappingObjective objective :
+       {MappingObjective::kExponential, MappingObjective::kDeterministic}) {
+    MappingSearchOptions options;
+    options.objective = objective;
+    AnalysisContext shared_context;
+    shared_context.set_candidate_policy(CandidatePolicy::kSharedDerive);
+    AnalysisContext copy_context;
+    copy_context.set_candidate_policy(CandidatePolicy::kCopyValidate);
+    shared_context.set_base(base, options);
+    copy_context.set_base(base, options);
+
+    auto check = [&](const MappingMove& move) {
+      const auto shared = shared_context.evaluate_move(move);
+      const auto copied = copy_context.evaluate_move(move);
+      ASSERT_EQ(shared.has_value(), copied.has_value());
+      if (shared) EXPECT_EQ(*shared, *copied);
+    };
+    for (std::size_t p = 0; p < m; ++p) {
+      for (std::size_t i = 0; i <= n; ++i) {
+        const std::size_t target = i == n ? Mapping::kUnused : i;
+        if (target == base.stage_of(p)) continue;
+        check(MappingMove::migrate(p, target));
+      }
+    }
+    for (std::size_t p = 0; p < m; ++p) {
+      for (std::size_t q = p + 1; q < m; ++q) {
+        if (base.stage_of(p) == base.stage_of(q)) continue;
+        check(MappingMove::swap(p, q));
+      }
+    }
+  }
+}
+
 TEST(AnalysisContext, SetBaseRequiresSortedTeams) {
   Application app({1.0, 1.0}, {1.0});
   Platform platform = Platform::fully_connected({1.0, 1.0, 1.0}, 1.0);

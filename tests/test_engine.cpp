@@ -10,6 +10,8 @@
 
 #include <cmath>
 
+#include "core/analysis_context.hpp"
+#include "core/heuristics.hpp"
 #include "engine/sim_replication.hpp"
 #include "engine/stream_factory.hpp"
 #include "test_helpers.hpp"
@@ -161,6 +163,52 @@ TEST(ExperimentRunner, TegReplicasBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(result.per_replication[k], reference.per_replication[k])
           << "replication " << k << " with " << threads << " threads";
   }
+}
+
+TEST(ExperimentRunner, ReplicatedSearchSharesOneInstanceAcrossThreads) {
+  // The shared immutable instance must be safe to read from every pool
+  // thread at once (this is what makes the by-value -> shared_ptr Mapping
+  // refactor thread-correct, and what the TSan CI job exercises): fan a
+  // replicated mapping search over the pool, every replication reading the
+  // SAME Instance allocation through its own AnalysisContext. Results must
+  // be bit-identical across replications and thread counts, and identical
+  // to a serial search.
+  Application app({2.0, 8.0, 3.0}, {1.0, 1.0});
+  Platform platform = Platform::fully_connected(
+      {1.0, 1.5, 2.0, 0.8, 1.2, 2.5, 0.9}, 4.0);
+  const InstancePtr instance = make_instance(std::move(app),
+                                             std::move(platform));
+  MappingSearchOptions options;
+  options.objective = MappingObjective::kExponential;
+  options.restarts = 2;
+
+  auto search_body = [&](Prng& prng, std::size_t) -> std::vector<double> {
+    // Each replication searches with its own seed (drawn from its
+    // substream) but reads the shared instance concurrently.
+    MappingSearchOptions local = options;
+    local.seed = prng();
+    AnalysisContext context;  // per-replication context, shared instance
+    const auto result = optimize_mapping(instance, local, context);
+    SF_ASSERT(result.mapping.instance().get() == instance.get(),
+              "search copied the shared instance");
+    return {result.throughput, static_cast<double>(result.evaluations)};
+  };
+
+  ReplicatedResult reference;
+  for (const std::size_t threads : {1, 4}) {
+    const ReplicatedResult result =
+        ExperimentRunner(experiment(6, threads, 0xD15C))
+            .run({"throughput", "evaluations"}, search_body);
+    if (threads == 1) {
+      reference = result;
+      continue;
+    }
+    for (std::size_t k = 0; k < 6; ++k)
+      EXPECT_EQ(result.per_replication[k], reference.per_replication[k])
+          << "replication " << k << " with " << threads << " threads";
+  }
+  // The instance survives the fan-out with only our handle left.
+  EXPECT_EQ(instance.use_count(), 1);
 }
 
 TEST(ExperimentRunner, Validation) {

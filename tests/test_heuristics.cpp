@@ -197,6 +197,106 @@ TEST(Heuristics, WarmCacheDoesNotChangeTheResult) {
   EXPECT_GT(warm.pattern_cache_hits, 0u);
 }
 
+TEST(Heuristics, InstanceIsSharedNotCopiedAcrossAWholeSearch) {
+  // The tentpole contract of the instance-sharing refactor: a search
+  // constructs thousands of candidate mappings but never duplicates the
+  // Application/Platform payload. shared_ptr use counts make that
+  // observable — if any step copied the instance, the returned mapping
+  // would reference a different allocation.
+  Application app({2.0, 8.0, 3.0}, {1.0, 1.0});
+  Platform platform = Platform::fully_connected(
+      {1.0, 1.5, 2.0, 0.8, 1.2, 2.5, 0.9}, 4.0);
+  const InstancePtr instance = make_instance(std::move(app),
+                                             std::move(platform));
+  ASSERT_EQ(instance.use_count(), 1);
+
+  MappingSearchOptions options;
+  options.objective = MappingObjective::kExponential;
+  options.restarts = 3;
+
+  {
+    // Throwaway-context overload: after it returns, the only handles left
+    // are ours and the result mapping's.
+    const auto result = optimize_mapping(instance, options);
+    EXPECT_EQ(result.mapping.instance().get(), instance.get());
+    EXPECT_EQ(instance.use_count(), 2);
+  }
+  EXPECT_EQ(instance.use_count(), 1);
+
+  // Shared-context overload: exactly two more handles live inside the
+  // context — the pinned base mapping and the pending scratch candidate of
+  // the last (uncommitted) evaluate_move probe. Still the same allocation:
+  // handles are O(1) copies of the pointer, never of the payload.
+  AnalysisContext context;
+  const auto result = optimize_mapping(instance, options, context);
+  EXPECT_EQ(result.mapping.instance().get(), instance.get());
+  EXPECT_EQ(context.base_mapping().instance().get(), instance.get());
+  EXPECT_EQ(instance.use_count(), 4);
+  context.clear();
+  EXPECT_EQ(instance.use_count(), 2);  // ours + the result mapping's
+}
+
+TEST(Heuristics, PinnedScoresMatchThePreSharingImplementation) {
+  // Regression pin for the by-value -> shared-instance refactor: these
+  // exact values (bitwise, printf %.17g) were produced by the pre-refactor
+  // library built from the PR 3 tree on this instance, for both
+  // objectives. Searches must stay byte-for-byte reproducible across the
+  // candidate-construction change.
+  Application app({2.0, 8.0, 3.0}, {1.0, 1.0});
+  Platform platform = Platform::fully_connected(
+      {1.0, 1.5, 2.0, 0.8, 1.2, 2.5, 0.9}, 4.0);
+  Prng prng(3);
+  for (std::size_t p = 0; p < 7; ++p) {
+    for (std::size_t q = p + 1; q < 7; ++q) {
+      platform.set_bandwidth(p, q, 2.0 + 3.0 * prng.uniform01());
+    }
+  }
+  MappingSearchOptions options;
+  options.restarts = 3;
+  options.seed = 42;
+  for (const MappingObjective objective :
+       {MappingObjective::kExponential, MappingObjective::kDeterministic}) {
+    options.objective = objective;
+    const auto result = optimize_mapping(app, platform, options);
+    EXPECT_EQ(result.throughput, 0.65000000000000002);
+    EXPECT_EQ(result.greedy_throughput, 0.3125);
+    EXPECT_EQ(result.evaluations, 238u);
+    EXPECT_EQ(result.mapping.to_string(),
+              "Mapping[m=3 paths; T1->{P1} T2->{P2,P4,P5} T3->{P0,P3,P6}]");
+  }
+}
+
+TEST(Heuristics, CandidatePoliciesProduceIdenticalSearches) {
+  // kCopyValidate is the pre-refactor candidate-construction path kept as
+  // the reference implementation; a whole search under it must retrace the
+  // kSharedDerive search exactly (same trajectory, scores, and counts).
+  Application app({2.0, 8.0, 3.0}, {1.0, 1.0});
+  Platform platform = Platform::fully_connected(
+      {1.0, 1.5, 2.0, 0.8, 1.2, 2.5, 0.9}, 4.0);
+  Prng prng(3);
+  for (std::size_t p = 0; p < 7; ++p) {
+    for (std::size_t q = p + 1; q < 7; ++q) {
+      platform.set_bandwidth(p, q, 2.0 + 3.0 * prng.uniform01());
+    }
+  }
+  MappingSearchOptions options;
+  options.objective = MappingObjective::kExponential;
+  options.restarts = 3;
+  options.seed = 42;
+
+  AnalysisContext shared_context;
+  shared_context.set_candidate_policy(CandidatePolicy::kSharedDerive);
+  const auto shared = optimize_mapping(app, platform, options, shared_context);
+
+  AnalysisContext copy_context;
+  copy_context.set_candidate_policy(CandidatePolicy::kCopyValidate);
+  const auto copied = optimize_mapping(app, platform, options, copy_context);
+
+  expect_same_result(shared, copied);
+  EXPECT_EQ(shared.pattern_cache_misses, copied.pattern_cache_misses);
+  EXPECT_EQ(shared.pattern_cache_hits, copied.pattern_cache_hits);
+}
+
 TEST(Heuristics, ReportsCacheStatsPerObjective) {
   Application app({1.0, 12.0, 1.0}, {0.1, 0.1});
   Platform platform = Platform::fully_connected(

@@ -105,10 +105,7 @@ TEST_P(PathCountTest, MatchesLcm) {
   Mapping mapping(app, platform, teams);
   EXPECT_EQ(mapping.num_paths(), c.expected_paths);
 
-  // Paths are periodic with period m and follow the round-robin rule.
-  const auto p0 = mapping.path(0);
-  const auto p_m = mapping.path(mapping.num_paths());
-  EXPECT_EQ(p0, p_m);
+  // Every path follows the round-robin rule.
   for (std::int64_t j = 0; j < mapping.num_paths(); ++j) {
     const auto path = mapping.path(j);
     for (std::size_t i = 0; i < n; ++i) {
@@ -126,6 +123,71 @@ INSTANTIATE_TEST_SUITE_P(
                       PathCountCase{{2, 6, 4}, 12},
                       // Example A of Figure 1: 1, 2, 3, 1 -> 6 paths.
                       PathCountCase{{1, 2, 3, 1}, 6}));
+
+TEST(Mapping, PathRejectsOutOfRangeIndices) {
+  // Regression: path(j) used to silently return path(j mod m) for
+  // j >= num_paths(), masking index bugs in callers. Both bounds now throw.
+  Mapping mapping = testing::replicated_chain_mapping(2, 3, 1);  // m = 6
+  ASSERT_EQ(mapping.num_paths(), 6);
+  EXPECT_NO_THROW(mapping.path(0));
+  EXPECT_NO_THROW(mapping.path(5));
+  EXPECT_THROW(mapping.path(6), InvalidArgument);
+  EXPECT_THROW(mapping.path(7), InvalidArgument);
+  EXPECT_THROW(mapping.path(-1), InvalidArgument);
+}
+
+TEST(Mapping, SharesInstanceAcrossConstructionPaths) {
+  const InstancePtr instance = make_instance(
+      Application::uniform(2), Platform::fully_connected({1.0, 2.0, 3.0}, 4.0));
+  ASSERT_EQ(instance.use_count(), 1);
+
+  const Mapping a(instance, {{0}, {1, 2}});
+  const Mapping b(instance, {{0, 1}, {2}});
+  // Mappings reference the instance, they do not copy it.
+  EXPECT_EQ(a.instance().get(), instance.get());
+  EXPECT_EQ(b.instance().get(), instance.get());
+  EXPECT_EQ(instance.use_count(), 3);
+
+  // Copying a mapping shares too (no bandwidth-matrix duplication).
+  const Mapping c = a;
+  EXPECT_EQ(c.instance().get(), instance.get());
+  EXPECT_EQ(instance.use_count(), 4);
+
+  // The compatibility constructor wraps its arguments into a fresh
+  // instance of its own.
+  const Mapping legacy(Application::uniform(2),
+                       Platform::fully_connected({1.0, 1.0}, 1.0),
+                       {{0}, {1}});
+  EXPECT_NE(legacy.instance().get(), instance.get());
+  EXPECT_EQ(legacy.instance().use_count(), 1);
+}
+
+TEST(Mapping, WithTeamsSharesInstanceAndRevalidatesTouchedTeams) {
+  // P0 -> P1 exists, P0 -> P2 does not: deriving teams that use the
+  // missing link must throw when (and only when) the touched list names
+  // the stage whose team changed.
+  Application app = Application::uniform(2);
+  Platform platform({1.0, 1.0, 1.0});
+  platform.set_bandwidth(0, 1, 1.0);
+  const Mapping base(make_instance(std::move(app), std::move(platform)),
+                     {{0}, {1}});
+
+  // A valid derive shares the instance allocation.
+  const Mapping same = Mapping::with_teams(base, {{0}, {1}}, {});
+  EXPECT_EQ(same.instance().get(), base.instance().get());
+  EXPECT_EQ(same.num_paths(), 1);
+
+  // Moving P2 into stage 1 uses the missing (0, 2) link; naming stage 1 as
+  // touched triggers the revalidation of column 0.
+  EXPECT_THROW(Mapping::with_teams(base, {{0}, {1, 2}}, {1}),
+               InvalidArgument);
+
+  // Structural checks always run, touched or not.
+  EXPECT_THROW(Mapping::with_teams(base, {{0}, {}}, {1}), InvalidArgument);
+  EXPECT_THROW(Mapping::with_teams(base, {{0}, {1}, {2}}, {}),
+               InvalidArgument);
+  EXPECT_THROW(Mapping::with_teams(base, {{0}, {1}}, {5}), InvalidArgument);
+}
 
 TEST(Mapping, CompAndCommTimes) {
   Mapping mapping = testing::chain_mapping({2.0, 4.0}, {3.0});

@@ -25,9 +25,13 @@ for config in "${configs[@]}"; do
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
   if [ "${config}" = "Release" ]; then
     # Smoke-run the search-throughput bench (no timing assertions enforced
-    # here; the SHAPE lines document the cache speedup and bit-identity).
+    # here; the SHAPE lines document the cache speedup and bit-identity)
+    # and archive its machine-readable summary as a build artifact.
     echo "==> ${config}: bench smoke (search throughput)"
-    "./${build_dir}/bench_search_throughput" --quick
+    "./${build_dir}/bench_search_throughput" --quick \
+        --json "${build_dir}/BENCH_search_throughput.json"
+    echo "==> ${config}: bench summary artifact"
+    cat "${build_dir}/BENCH_search_throughput.json"
   fi
 done
 

@@ -329,8 +329,9 @@ int cmd_search(const CliArgs& args) {
 
   if (args.scenarios_path.empty()) {
     const Mapping instance = load(args.instance_path);
-    const auto result = optimize_mapping(instance.application(),
-                                         instance.platform(), options, context);
+    // Share the loaded instance: the whole search runs without copying the
+    // application or the platform's bandwidth matrix.
+    const auto result = optimize_mapping(instance.instance(), options, context);
     std::cout << "objective    : " << objective_name << " throughput ("
               << to_string(options.model) << " model)\n";
     std::cout << "best mapping : " << result.mapping.to_string() << "\n";
@@ -349,8 +350,7 @@ int cmd_search(const CliArgs& args) {
   table.set_precision(6);
   for (const std::string& path : scenarios) {
     const Mapping instance = load(path);
-    const auto result = optimize_mapping(instance.application(),
-                                         instance.platform(), options, context);
+    const auto result = optimize_mapping(instance.instance(), options, context);
     table.add_row({std::filesystem::path(path).filename().string(),
                    static_cast<std::int64_t>(instance.num_stages()),
                    static_cast<std::int64_t>(instance.num_processors()),
