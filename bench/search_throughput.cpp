@@ -24,9 +24,17 @@
 // instance + touched-team-only revalidation), checks the scores
 // bit-identical, and asserts the >= 2x speedup on the largest platform.
 //
+// Part 3 is the portfolio threads sweep: the deterministic parallel search
+// (engine/parallel_search.hpp) runs the same restart portfolio at 1, 2, 4,
+// and 8 worker threads, checks every result bit-identical, and reports the
+// wall-clock speedup. The >= 2x-at-4-threads shape assertion only arms when
+// the host actually has 4 hardware threads (on smaller machines the sweep
+// still runs and the verdict degrades to SHAPE-INFO).
+//
 //   ./build/bench_search_throughput [--csv] [--quick] [--json PATH]
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -35,6 +43,7 @@
 #include "core/analysis_context.hpp"
 #include "core/analyzer.hpp"
 #include "core/heuristics.hpp"
+#include "engine/parallel_search.hpp"
 
 namespace {
 
@@ -312,6 +321,70 @@ int main(int argc, char** argv) {
       args);
   std::cout << "\n";
 
+  // ---- Part 3: deterministic portfolio threads sweep ----------------------
+  // One restart portfolio on the hard heterogeneous instance, swept over
+  // worker-thread counts. Scores, trajectories, and counters must be
+  // bit-identical at every T; wall clock is what changes.
+  ParallelSearchOptions portfolio;
+  portfolio.search = options;
+  portfolio.search.restarts = args.quick ? 8 : 16;
+  portfolio.search.seed = 99;
+
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+  streamflow::Table sweep_table(
+      {"threads", "seconds", "speedup", "throughput", "evaluations"});
+  sweep_table.set_precision(4);
+  JsonObject sweep_json;
+  std::optional<streamflow::ParallelSearchResult> sweep_reference;
+  double sweep_serial_seconds = 0.0;
+  double sweep_speedup_at4 = 0.0;
+  std::size_t sweep_mismatches = 0;
+  for (const std::size_t t : thread_counts) {
+    portfolio.threads = t;
+    Stopwatch watch;
+    streamflow::ParallelSearchResult result =
+        streamflow::parallel_optimize_mapping(base.instance(), portfolio);
+    const double seconds = watch.seconds();
+    if (t == 1) sweep_serial_seconds = seconds;
+    const double sweep_speedup = sweep_serial_seconds / seconds;
+    if (t == 4) sweep_speedup_at4 = sweep_speedup;
+    // Report THIS run's numbers (not the reference's): if determinism ever
+    // regresses, the printed table and the archived JSON show the
+    // diverging values alongside the mismatch verdict.
+    sweep_table.add_row({static_cast<std::int64_t>(t), seconds, sweep_speedup,
+                         result.throughput,
+                         static_cast<std::int64_t>(result.evaluations)});
+    JsonObject row;
+    row.set("threads", t)
+        .set("seconds", seconds)
+        .set("speedup", sweep_speedup)
+        .set("restarts", result.restarts)
+        .set("evaluations", result.evaluations);
+    sweep_json.set("t" + std::to_string(t), row);
+    if (!sweep_reference) {
+      sweep_reference.emplace(std::move(result));
+    } else if (result.throughput != sweep_reference->throughput ||
+               result.evaluations != sweep_reference->evaluations ||
+               result.best_restart != sweep_reference->best_restart ||
+               result.pattern_requests != sweep_reference->pattern_requests ||
+               result.mapping.to_string() !=
+                   sweep_reference->mapping.to_string()) {
+      ++sweep_mismatches;
+    }
+  }
+  streamflow::bench::emit(
+      sweep_table,
+      "portfolio threads sweep (" +
+          std::to_string(portfolio.search.restarts) +
+          " restarts, bit-identical result required at every T)",
+      args);
+  std::cout << "\n";
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const bool sweep_identical = sweep_mismatches == 0;
+  const bool sweep_hardware_ok = hardware >= 4;
+  const bool sweep_speedup_ok = sweep_speedup_at4 >= 2.0;
+
   const bool default_identical = mismatches == 0;
   const bool default_speedup_ok = speedup >= 3.0;
   const bool policy_identical = policy_mismatches == 0;
@@ -334,6 +407,23 @@ int main(int argc, char** argv) {
       "shared-instance derive >= 2x evaluations/sec vs deep-copy candidates "
       "on the largest platform (got " +
           std::to_string(largest_policy_speedup) + "x)");
+  streamflow::bench::shape_check(
+      sweep_identical,
+      "portfolio results bit-identical across 1/2/4/8 worker threads (" +
+          std::to_string(sweep_mismatches) + " mismatching sweeps)");
+  if (sweep_hardware_ok) {
+    streamflow::bench::shape_check(
+        sweep_speedup_ok,
+        "parallel portfolio >= 2x wall-clock speedup at 4 threads (got " +
+            std::to_string(sweep_speedup_at4) + "x on " +
+            std::to_string(hardware) + " hardware threads)");
+  } else {
+    streamflow::bench::shape_info(
+        "threads-sweep speedup not asserted: only " +
+        std::to_string(hardware) +
+        " hardware thread(s) detected (got " +
+        std::to_string(sweep_speedup_at4) + "x at 4 workers)");
+  }
 
   JsonObject summary;
   JsonObject default_json;
@@ -348,12 +438,18 @@ int main(int argc, char** argv) {
       .set("pattern_hits", stats.pattern_hits)
       .set("columns_reused", stats.columns_reused)
       .set("columns_recomputed", stats.columns_recomputed);
+  sweep_json.set("hardware_threads", static_cast<std::size_t>(hardware))
+      .set("speedup_at_4_threads", sweep_speedup_at4)
+      .set("speedup_asserted", sweep_hardware_ok);
   summary.set("bench", "search_throughput")
       .set("quick", args.quick)
       .set("default_instance", default_json)
       .set("large_platform", large_json)
+      .set("threads_sweep", sweep_json)
       .set("shape_ok", default_identical && default_speedup_ok &&
-                           policy_identical && policy_speedup_ok);
+                           policy_identical && policy_speedup_ok &&
+                           sweep_identical &&
+                           (!sweep_hardware_ok || sweep_speedup_ok));
   streamflow::bench::write_json(args, summary);
   return 0;
 }

@@ -32,6 +32,15 @@
 // came from the cache or not. Debug builds assert this on every
 // evaluate_move; tests/test_analysis_context.cpp pins it across move kinds
 // and random instances.
+//
+// Thread safety: an AnalysisContext is SINGLE-THREADED — it owns mutable
+// caches, arenas, and the pinned base; concurrent use is a data race.
+// Parallel layers (engine/parallel_search.hpp) give every worker its own
+// context over the one shared immutable Instance. That costs nothing in
+// correctness precisely because of the bit-exactness contract above: a
+// restart evaluated through a cold private context returns the same bits
+// as one evaluated through a long-lived warm context, so results never
+// depend on which worker (or cache) ran what.
 #pragma once
 
 #include <cstdint>
@@ -78,6 +87,10 @@ struct MappingMove {
 };
 
 /// How evaluate_move() constructs its candidate Mapping from the base.
+/// Scores are bit-identical under both policies — only construction cost
+/// differs (tests/test_analysis_context.cpp and tests/test_heuristics.cpp
+/// pin whole searches equal under both, including against scores produced
+/// by the pre-refactor library).
 enum class CandidatePolicy {
   /// Share the base's immutable instance and revalidate only the teams the
   /// move touches (Mapping::with_teams). The default: candidate

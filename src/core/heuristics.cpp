@@ -255,6 +255,81 @@ double evaluate_mapping(const Mapping& mapping,
   return context.objective(mapping, options);
 }
 
+void validate_mapping_search(const InstancePtr& instance,
+                             const MappingSearchOptions& options) {
+  SF_REQUIRE(instance != nullptr, "optimize_mapping requires an instance");
+  SF_REQUIRE(instance->platform.num_processors() >=
+                 instance->application.num_stages(),
+             "need at least one processor per stage");
+  if (options.objective == MappingObjective::kExponential) {
+    SF_REQUIRE(options.model == ExecutionModel::kOverlap,
+               "the exponential objective uses the column method, which "
+               "applies to the Overlap model only");
+  }
+}
+
+RestartResult run_greedy_restart(const InstancePtr& instance,
+                                 const MappingSearchOptions& options,
+                                 AnalysisContext& context) {
+  validate_mapping_search(instance, options);
+  const Application& application = instance->application;
+  const AnalysisCacheStats before = context.stats();
+
+  const std::vector<std::size_t> procs_by_speed =
+      processors_by_speed(instance->platform);
+  SearchState state(
+      instance, options, context,
+      initial_greedy_assignment(application, instance->platform,
+                                procs_by_speed));
+  greedy_place_extras(state, application, procs_by_speed, options);
+
+  RestartResult result;
+  result.start_score = state.current();
+  result.score = local_search(state, options, application.num_stages());
+  result.feasible = state.feasible();
+  result.assignment = state.assignment();
+  const AnalysisCacheStats& after = context.stats();
+  result.evaluations = after.evaluations - before.evaluations;
+  result.pattern_requests = (after.pattern_hits - before.pattern_hits) +
+                            (after.pattern_misses - before.pattern_misses);
+  return result;
+}
+
+StageAssignment draw_restart_assignment(const Application& application,
+                                        const Platform& platform, Prng& prng) {
+  return random_assignment(application, platform, prng);
+}
+
+RestartResult run_random_restart(const InstancePtr& instance,
+                                 StageAssignment start,
+                                 const MappingSearchOptions& options,
+                                 AnalysisContext& context) {
+  validate_mapping_search(instance, options);
+  const AnalysisCacheStats before = context.stats();
+
+  SearchState state(instance, options, context, std::move(start));
+  RestartResult result;
+  result.assignment = state.assignment();
+  if (!state.feasible()) return result;  // skipped, no evaluation consumed
+  result.start_score = state.current();
+  result.score =
+      local_search(state, options, instance->application.num_stages());
+  result.feasible = true;
+  result.assignment = state.assignment();
+  const AnalysisCacheStats& after = context.stats();
+  result.evaluations = after.evaluations - before.evaluations;
+  result.pattern_requests = (after.pattern_hits - before.pattern_hits) +
+                            (after.pattern_misses - before.pattern_misses);
+  return result;
+}
+
+std::optional<Mapping> realize_assignment(const InstancePtr& instance,
+                                          const StageAssignment& assignment,
+                                          std::int64_t max_paths) {
+  SF_REQUIRE(instance != nullptr, "realize_assignment requires an instance");
+  return realize(instance, assignment, max_paths);
+}
+
 MappingSearchResult optimize_mapping(const InstancePtr& instance,
                                      const MappingSearchOptions& options) {
   AnalysisContext context;
@@ -278,48 +353,35 @@ MappingSearchResult optimize_mapping(const Application& application,
                           context);
 }
 
+// The serial reference reduction: restart 0 (greedy) plus restarts drawn
+// sequentially from one Prng, folded in restart order with strict-improvement
+// comparison (ties keep the earliest restart). engine/parallel_search runs
+// the same restarts on a thread pool and applies the same in-order reduction,
+// so its result is bit-identical to this loop for any thread count.
 MappingSearchResult optimize_mapping(const InstancePtr& instance,
                                      const MappingSearchOptions& options,
                                      AnalysisContext& context) {
-  SF_REQUIRE(instance != nullptr, "optimize_mapping requires an instance");
-  const Application& application = instance->application;
-  const Platform& platform = instance->platform;
-  SF_REQUIRE(platform.num_processors() >= application.num_stages(),
-             "need at least one processor per stage");
-  if (options.objective == MappingObjective::kExponential) {
-    SF_REQUIRE(options.model == ExecutionModel::kOverlap,
-               "the exponential objective uses the column method, which "
-               "applies to the Overlap model only");
-  }
+  validate_mapping_search(instance, options);
   const AnalysisCacheStats before = context.stats();
   Prng prng(options.seed);
-  const std::size_t n = application.num_stages();
 
-  const std::vector<std::size_t> procs_by_speed = processors_by_speed(platform);
-  SearchState greedy_state(
-      instance, options, context,
-      initial_greedy_assignment(application, platform, procs_by_speed));
-  greedy_place_extras(greedy_state, application, procs_by_speed, options);
-  const double greedy_score = greedy_state.current();
-  double best_score = local_search(greedy_state, options, n);
-  Assignment best_assignment = greedy_state.assignment();
+  RestartResult best = run_greedy_restart(instance, options, context);
+  const double greedy_score = best.start_score;
 
   for (std::size_t restart = 1; restart < options.restarts; ++restart) {
-    SearchState state(instance, options, context,
-                      random_assignment(application, platform, prng));
-    if (!state.feasible()) continue;  // random draw infeasible on this platform
-    const double score = local_search(state, options, n);
-    if (score > best_score) {
-      best_score = score;
-      best_assignment = state.assignment();
-    }
+    RestartResult r = run_random_restart(
+        instance,
+        draw_restart_assignment(instance->application, instance->platform,
+                                prng),
+        options, context);
+    if (r.feasible && r.score > best.score) best = std::move(r);
   }
 
-  auto mapping = realize(instance, best_assignment, options.max_paths);
+  auto mapping = realize(instance, best.assignment, options.max_paths);
   SF_ASSERT(mapping.has_value(), "search ended on an infeasible assignment");
   const AnalysisCacheStats& after = context.stats();
   return MappingSearchResult{std::move(*mapping),
-                             best_score,
+                             best.score,
                              greedy_score,
                              after.evaluations - before.evaluations,
                              after.pattern_hits - before.pattern_hits,

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 
 #include "model/mapping.hpp"
@@ -29,6 +30,7 @@
 namespace streamflow {
 
 class AnalysisContext;
+class Prng;
 
 /// What the search maximizes.
 enum class MappingObjective {
@@ -101,5 +103,79 @@ MappingSearchResult optimize_mapping(const Application& application,
 /// Scores one mapping under the chosen objective (exposed for comparisons).
 double evaluate_mapping(const Mapping& mapping,
                         const MappingSearchOptions& options);
+
+// ---- Re-entrant single-restart API ----------------------------------------
+//
+// optimize_mapping is a serial in-order reduction over independent restarts:
+// restart 0 is the greedy construction plus one local-search pass, restart
+// k >= 1 is a local-search pass from a drawn random start. The pieces are
+// exposed here so a portfolio driver (engine/parallel_search.hpp) can fan
+// the restarts out over a thread pool: every function below touches only
+// its arguments — the shared immutable instance is read-only and the
+// AnalysisContext carries all mutable state — so any number of restarts may
+// run concurrently as long as each thread brings its own context.
+
+/// The assignment representation of the search: the stage index served by
+/// each processor, with Mapping::kUnused for processors left out.
+using StageAssignment = std::vector<std::size_t>;
+
+/// Outcome of one restart. Scores, assignments, and the evaluation counts
+/// are independent of the cache state of the context that ran the restart
+/// (the AnalysisContext bit-exactness contract), so a restart computes the
+/// same RestartResult on a cold private context as it does mid-way through
+/// a long-lived shared one — the property the parallel portfolio relies on.
+struct RestartResult {
+  /// False when the start never reached a feasible mapping (the restart is
+  /// skipped by the reduction; `score` stays -infinity).
+  bool feasible = false;
+  /// Objective value after local search.
+  double score = -std::numeric_limits<double>::infinity();
+  /// Objective value of the start itself: the greedy construction score for
+  /// restart 0 (reported as MappingSearchResult::greedy_throughput), the
+  /// first feasible score for a random restart.
+  double start_score = -std::numeric_limits<double>::infinity();
+  /// Final assignment of the restart (realize it with realize_assignment).
+  StageAssignment assignment;
+  /// Objective evaluations consumed by this restart (cache-independent).
+  std::size_t evaluations = 0;
+  /// Pattern solves requested by this restart: cache hits + misses. The
+  /// hit/miss split depends on the warmth of the context, the sum does not.
+  std::size_t pattern_requests = 0;
+};
+
+/// Validates (instance, options) exactly as optimize_mapping does; throws
+/// InvalidArgument on violation. Portfolio drivers call this once before
+/// fanning restarts out so option errors surface on the caller's thread.
+void validate_mapping_search(const InstancePtr& instance,
+                             const MappingSearchOptions& options);
+
+/// Restart 0: greedy construction (heaviest stages on fastest processors,
+/// remaining processors placed where they score best) followed by one
+/// local-search pass. Deterministic — consumes no randomness.
+RestartResult run_greedy_restart(const InstancePtr& instance,
+                                 const MappingSearchOptions& options,
+                                 AnalysisContext& context);
+
+/// Draws the random start assignment of one restart — exactly the draw the
+/// serial optimize_mapping makes, exposed so a portfolio can materialize
+/// every start up front (sequentially, preserving the serial draw order)
+/// before fanning the searches out.
+StageAssignment draw_restart_assignment(const Application& application,
+                                        const Platform& platform, Prng& prng);
+
+/// Restart k >= 1: local search from `start`. Infeasible starts return
+/// feasible == false without consuming any evaluation (matching the serial
+/// search, which skips them).
+RestartResult run_random_restart(const InstancePtr& instance,
+                                 StageAssignment start,
+                                 const MappingSearchOptions& options,
+                                 AnalysisContext& context);
+
+/// Builds the validated Mapping for `assignment` on the shared instance;
+/// nullopt when the assignment is infeasible (empty team, unusable link, or
+/// lcm of replications above max_paths).
+std::optional<Mapping> realize_assignment(const InstancePtr& instance,
+                                          const StageAssignment& assignment,
+                                          std::int64_t max_paths);
 
 }  // namespace streamflow

@@ -8,6 +8,12 @@
 // turns the paper's single-run §7 protocol into one with honest statistics:
 // every metric gets a mean, sample stddev, 95% CI, min/max, and the full
 // per-replication table.
+//
+// Thread safety: an ExperimentRunner is immutable after construction and
+// run() is const and re-entrant — concurrent run() calls from different
+// threads are fine (each spawns its own pool). The replication body runs
+// concurrently with itself: it must confine writes to its own row and may
+// share only immutable state across replications.
 #pragma once
 
 #include <cstdint>

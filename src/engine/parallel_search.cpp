@@ -1,0 +1,257 @@
+#include "engine/parallel_search.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "core/analysis_context.hpp"
+#include "engine/stream_factory.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace streamflow {
+
+std::size_t ParallelSearchOptions::resolved_threads() const {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+/// Base stream of one scenario: Prng(seed), advanced `scenario` long jumps
+/// (2^192 draws each) when scenario streams are on. Long jumps and the
+/// per-restart short jumps (2^128) tile disjoint stretches of the xoshiro
+/// period, so scenario families never collide with restart substreams.
+Prng scenario_base_stream(std::uint64_t seed, std::size_t scenario,
+                          bool scenario_streams) {
+  Prng base(seed);
+  if (scenario_streams) {
+    for (std::size_t j = 0; j < scenario; ++j) base.long_jump();
+  }
+  return base;
+}
+
+/// Materializes the start assignments of restarts 1..R-1, serially, before
+/// any worker runs — this is where thread count is decoupled from the
+/// random draws. Sequential-compat consumes `base` in restart order (the
+/// serial optimize_mapping draws); substream seeding copies `base` advanced
+/// k jumps for restart k (equal to StreamFactory(seed).stream(k) when
+/// `base` is Prng(seed)).
+std::vector<StageAssignment> materialize_starts(const InstancePtr& instance,
+                                                std::size_t restarts,
+                                                RestartSeeding seeding,
+                                                Prng base) {
+  std::vector<StageAssignment> starts;
+  if (restarts <= 1) return starts;
+  starts.reserve(restarts - 1);
+  const Application& application = instance->application;
+  const Platform& platform = instance->platform;
+  if (seeding == RestartSeeding::kSequentialCompat) {
+    for (std::size_t k = 1; k < restarts; ++k) {
+      starts.push_back(draw_restart_assignment(application, platform, base));
+    }
+  } else {
+    Prng frontier = base;  // substream k = base advanced k jumps
+    for (std::size_t k = 1; k < restarts; ++k) {
+      frontier.jump();
+      Prng stream = frontier;
+      starts.push_back(draw_restart_assignment(application, platform, stream));
+    }
+  }
+  return starts;
+}
+
+/// Runs restart k of the portfolio through `context`.
+RestartResult run_restart(const InstancePtr& instance,
+                          const MappingSearchOptions& options, std::size_t k,
+                          const std::vector<StageAssignment>& starts,
+                          AnalysisContext& context) {
+  if (k == 0) return run_greedy_restart(instance, options, context);
+  return run_random_restart(instance, starts[k - 1], options, context);
+}
+
+/// The serial in-order reduction: strict improvement in restart order, so
+/// ties always resolve to the lowest restart index.
+std::size_t reduce_best(const std::vector<RestartResult>& rows) {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < rows.size(); ++k) {
+    if (rows[k].feasible && rows[k].score > rows[best].score) best = k;
+  }
+  return best;
+}
+
+ParallelSearchResult assemble(const InstancePtr& instance,
+                              const MappingSearchOptions& search,
+                              std::vector<RestartResult> rows,
+                              std::size_t threads_used) {
+  const std::size_t best = reduce_best(rows);
+  auto mapping =
+      realize_assignment(instance, rows[best].assignment, search.max_paths);
+  SF_ASSERT(mapping.has_value(), "search ended on an infeasible assignment");
+
+  ParallelSearchResult result{std::move(*mapping),
+                              rows[best].score,
+                              rows[0].start_score,
+                              best,
+                              rows.size(),
+                              threads_used,
+                              0,
+                              0,
+                              std::move(rows)};
+  for (const RestartResult& row : result.trace) {
+    result.evaluations += row.evaluations;
+    result.pattern_requests += row.pattern_requests;
+  }
+  return result;
+}
+
+/// One whole portfolio run serially through a caller-provided context —
+/// the per-scenario body of the batch axis, and the threads == 1 path.
+std::vector<RestartResult> run_portfolio_serial(
+    const InstancePtr& instance, const MappingSearchOptions& search,
+    const std::vector<StageAssignment>& starts, AnalysisContext& context) {
+  const std::size_t restarts = starts.size() + 1;
+  std::vector<RestartResult> rows;
+  rows.reserve(restarts);
+  for (std::size_t k = 0; k < restarts; ++k) {
+    rows.push_back(run_restart(instance, search, k, starts, context));
+  }
+  return rows;
+}
+
+/// Stash of the first failure by the SMALLEST claimed index, so the error a
+/// caller sees does not depend on worker timing.
+class DeterministicErrorStash {
+ public:
+  void offer(std::size_t index, std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_ || index < index_) {
+      index_ = index;
+      error_ = std::move(error);
+    }
+  }
+  void rethrow_if_any() const {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::size_t index_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+ParallelSearchResult parallel_optimize_mapping(
+    const InstancePtr& instance, const ParallelSearchOptions& options) {
+  validate_mapping_search(instance, options.search);
+  const std::size_t restarts = std::max<std::size_t>(options.search.restarts, 1);
+  const std::vector<StageAssignment> starts = materialize_starts(
+      instance, restarts, options.seeding,
+      scenario_base_stream(options.search.seed, 0, false));
+  const std::size_t threads =
+      std::min<std::size_t>(options.resolved_threads(), restarts);
+
+  std::vector<RestartResult> rows(restarts);
+  if (threads <= 1) {
+    AnalysisContext context;
+    rows = run_portfolio_serial(instance, options.search, starts, context);
+    return assemble(instance, options.search, std::move(rows), 1);
+  }
+
+  // Workers claim restart indices dynamically (the claim order is
+  // irrelevant: each restart writes only its own row and is cache-state
+  // independent) and keep one private AnalysisContext warm across every
+  // restart they claim.
+  std::atomic<std::size_t> next{0};
+  DeterministicErrorStash errors;
+  ThreadPool pool(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    pool.submit([&] {
+      AnalysisContext context;
+      for (;;) {
+        const std::size_t k = next.fetch_add(1);
+        if (k >= restarts) return;
+        try {
+          rows[k] = run_restart(instance, options.search, k, starts, context);
+        } catch (...) {
+          errors.offer(k, std::current_exception());
+        }
+      }
+    });
+  }
+  pool.wait();
+  errors.rethrow_if_any();
+  return assemble(instance, options.search, std::move(rows), threads);
+}
+
+std::vector<ParallelSearchResult> parallel_optimize_batch(
+    const std::vector<InstancePtr>& instances,
+    const ParallelSearchOptions& options) {
+  SF_REQUIRE(!instances.empty(), "batch search over an empty scenario list");
+  // Validate every scenario up front, in order, on the caller's thread:
+  // option errors are deterministic and name the first offending scenario.
+  for (const InstancePtr& instance : instances) {
+    validate_mapping_search(instance, options.search);
+  }
+  const std::size_t restarts = std::max<std::size_t>(options.search.restarts, 1);
+
+  auto run_scenario = [&](std::size_t j,
+                          AnalysisContext& context) -> ParallelSearchResult {
+    const std::vector<StageAssignment> starts = materialize_starts(
+        instances[j], restarts, options.seeding,
+        scenario_base_stream(options.search.seed, j, options.scenario_streams));
+    std::vector<RestartResult> rows =
+        run_portfolio_serial(instances[j], options.search, starts, context);
+    // Each scenario runs inside one worker, so its own thread count is 1.
+    return assemble(instances[j], options.search, std::move(rows), 1);
+  };
+
+  const std::size_t threads =
+      std::min<std::size_t>(options.resolved_threads(), instances.size());
+  std::vector<ParallelSearchResult> results;
+  results.reserve(instances.size());
+
+  if (threads <= 1) {
+    AnalysisContext context;
+    for (std::size_t j = 0; j < instances.size(); ++j) {
+      results.push_back(run_scenario(j, context));
+    }
+    return results;
+  }
+
+  // Scenario-level fan-out: rows land in per-scenario slots and are
+  // returned in scenario order regardless of which worker ran what.
+  std::vector<std::optional<ParallelSearchResult>> slots(instances.size());
+  std::atomic<std::size_t> next{0};
+  DeterministicErrorStash errors;
+  ThreadPool pool(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    pool.submit([&] {
+      AnalysisContext context;  // warm across the scenarios this worker claims
+      for (;;) {
+        const std::size_t j = next.fetch_add(1);
+        if (j >= slots.size()) return;
+        try {
+          slots[j].emplace(run_scenario(j, context));
+        } catch (...) {
+          errors.offer(j, std::current_exception());
+        }
+      }
+    });
+  }
+  pool.wait();
+  errors.rethrow_if_any();
+  for (std::optional<ParallelSearchResult>& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+}  // namespace streamflow

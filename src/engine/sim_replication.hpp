@@ -5,6 +5,12 @@
 // substream k of the experiment seed (the sim options' own `seed` field is
 // ignored). Metric order is fixed and documented per wrapper so callers can
 // index ReplicatedResult columns stably.
+//
+// Determinism contract: every wrapper inherits the engine guarantee — the
+// ReplicatedResult is a pure function of (inputs, seed, replications),
+// bit-identical for any thread count. The mapping (and the immutable
+// Instance behind it) is shared read-only across all replication threads;
+// each replication owns its simulator state.
 #pragma once
 
 #include "engine/experiment_runner.hpp"

@@ -3,9 +3,16 @@
 // Substream k is Prng(seed) advanced by k polynomial jumps (Prng::jump), so
 // consecutive substreams are 2^128 draws apart: they never overlap for any
 // realistic draw count, and substream k depends only on (seed, k) — never on
-// thread count, call order, or process. This is what makes the experiment
-// engine bit-reproducible: replication k consumes substream k wherever it
-// happens to run.
+// thread count, call order, or process. This is what makes the parallel
+// layers bit-reproducible: work unit k (a replication, a search restart)
+// consumes substream k wherever it happens to run. For a second independent
+// axis (e.g. scenarios of a batch search), Prng::long_jump advances 2^192
+// draws, tiling families of 2^64 substreams that never collide with the
+// per-unit jumps.
+//
+// Thread safety: a StreamFactory is NOT thread-safe (it keeps a frontier
+// state) — materialize every stream serially before fanning out; each
+// returned Prng is an independent value afterwards.
 #pragma once
 
 #include <cstdint>

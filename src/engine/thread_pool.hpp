@@ -1,8 +1,19 @@
-// Fixed-size thread pool used by the experiment engine. Deliberately minimal:
-// tasks are submitted up front and `wait()` blocks until the queue drains and
-// every worker is idle. Determinism of the engine does NOT depend on task
-// scheduling — each task writes to its own output slot — so the pool makes no
-// ordering promises beyond running every task exactly once.
+// Fixed-size thread pool used by the experiment engine and the parallel
+// portfolio search. Deliberately minimal: tasks are submitted up front and
+// `wait()` blocks until the queue drains and every worker is idle.
+//
+// Determinism contract: the pool makes NO ordering promises beyond running
+// every task exactly once — engine determinism never depends on task
+// scheduling. Every deterministic layer built on top follows the same
+// recipe: partition the work so each task writes only its own output slot,
+// derive any randomness from jump-ahead substreams keyed by the slot index
+// (never by worker identity), and reduce serially in slot order after
+// wait() returns.
+//
+// Thread safety: submit() and wait() may be called from the owning thread
+// while workers run; tasks themselves must not touch the pool. Tasks run
+// concurrently, so anything they share must be immutable (e.g. one
+// Instance) or sliced per task (e.g. one AnalysisContext per worker).
 #pragma once
 
 #include <condition_variable>

@@ -2,9 +2,16 @@
 // Platform. Mappings reference their instance through a
 // std::shared_ptr<const Instance>, so constructing search candidates,
 // copying mappings, and returning them by value never duplicates the M x M
-// bandwidth matrix. Immutability makes the sharing thread-safe: concurrent
-// searches and replicated simulations may read one instance from many
-// threads without synchronization (covered by the TSan job).
+// bandwidth matrix.
+//
+// Thread safety: the payload is immutable after make_instance, which makes
+// the sharing safe by construction — any number of threads (replicated
+// simulations, portfolio search workers, their private AnalysisContexts)
+// may read one instance concurrently without synchronization, and copying
+// the handle itself is the usual atomic shared_ptr refcount. The TSan CI
+// job exercises exactly this pattern (test_engine, test_parallel_search).
+// Nothing in this library ever casts the const away; treat a need to
+// mutate as a need for a new instance.
 #pragma once
 
 #include <memory>
@@ -14,6 +21,8 @@
 
 namespace streamflow {
 
+/// One immutable (application, platform) pair. Always held behind an
+/// InstancePtr; see make_instance.
 struct Instance {
   Application application;
   Platform platform;

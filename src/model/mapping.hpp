@@ -51,6 +51,12 @@ struct CycleTime {
 /// constructing, copying, and deriving mappings never duplicates the
 /// Application or the M x M bandwidth matrix. Mappings built from the same
 /// handle (or derived via with_teams) share one instance allocation.
+///
+/// Thread safety: a Mapping is immutable after construction and the shared
+/// instance is immutable by type, so distinct threads may read the same
+/// Mapping — and construct new Mappings from the same InstancePtr —
+/// concurrently without synchronization. This is the contract the parallel
+/// search layers build on (engine/parallel_search.hpp; verified under TSan).
 class Mapping {
  public:
   /// Primary constructor: maps a shared instance with the given teams,

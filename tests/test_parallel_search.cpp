@@ -1,0 +1,359 @@
+// Determinism of the parallel portfolio mapping search.
+//
+// The contract under test (engine/parallel_search.hpp): the portfolio result
+// — best mapping, scores, the whole per-restart trace, and every counter —
+// is a pure function of (instance, search options, seeding). In particular
+// it is bit-identical for any thread count, equal to the serial
+// optimize_mapping under sequential-compat seeding, equal to a hand-rolled
+// serial replay of the exposed single-restart primitives, and ties in the
+// reduction always resolve to the lowest restart index.
+#include "engine/parallel_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/prng.hpp"
+#include "core/analysis_context.hpp"
+#include "engine/stream_factory.hpp"
+#include "test_helpers.hpp"
+
+namespace streamflow {
+namespace {
+
+/// The heterogeneous 3-stage / 7-processor instance the heuristics suite
+/// pins its serial scores on: every multi-link pattern needs a real CTMC
+/// solve, and random restarts genuinely move the result around.
+InstancePtr heterogeneous_instance() {
+  Application app({2.0, 8.0, 3.0}, {1.0, 1.0});
+  Platform platform = Platform::fully_connected(
+      {1.0, 1.5, 2.0, 0.8, 1.2, 2.5, 0.9}, 4.0);
+  Prng prng(3);
+  for (std::size_t p = 0; p < 7; ++p) {
+    for (std::size_t q = p + 1; q < 7; ++q) {
+      platform.set_bandwidth(p, q, 2.0 + 3.0 * prng.uniform01());
+    }
+  }
+  return make_instance(std::move(app), std::move(platform));
+}
+
+/// Six identical processors on a homogeneous network: many restarts reach
+/// the same optimum, exercising the tie-break rule.
+InstancePtr symmetric_instance() {
+  Application app({1.0, 12.0, 1.0}, {0.1, 0.1});
+  Platform platform =
+      Platform::fully_connected(std::vector<double>(6, 1.0), 100.0);
+  return make_instance(std::move(app), std::move(platform));
+}
+
+MappingSearchOptions search_options(std::size_t restarts,
+                                    std::uint64_t seed = 42) {
+  MappingSearchOptions options;
+  options.objective = MappingObjective::kExponential;
+  options.restarts = restarts;
+  options.seed = seed;
+  return options;
+}
+
+void expect_same_trace_row(const RestartResult& a, const RestartResult& b,
+                           std::size_t k) {
+  EXPECT_EQ(a.feasible, b.feasible) << "restart " << k;
+  EXPECT_EQ(a.score, b.score) << "restart " << k;  // bitwise
+  EXPECT_EQ(a.start_score, b.start_score) << "restart " << k;
+  EXPECT_EQ(a.assignment, b.assignment) << "restart " << k;
+  EXPECT_EQ(a.evaluations, b.evaluations) << "restart " << k;
+  EXPECT_EQ(a.pattern_requests, b.pattern_requests) << "restart " << k;
+}
+
+void expect_same_result(const ParallelSearchResult& a,
+                        const ParallelSearchResult& b) {
+  ASSERT_EQ(a.mapping.num_stages(), b.mapping.num_stages());
+  for (std::size_t i = 0; i < a.mapping.num_stages(); ++i) {
+    EXPECT_EQ(a.mapping.team(i), b.mapping.team(i));
+  }
+  EXPECT_EQ(a.throughput, b.throughput);  // bitwise
+  EXPECT_EQ(a.greedy_throughput, b.greedy_throughput);
+  EXPECT_EQ(a.best_restart, b.best_restart);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.pattern_requests, b.pattern_requests);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t k = 0; k < a.trace.size(); ++k) {
+    expect_same_trace_row(a.trace[k], b.trace[k], k);
+  }
+}
+
+TEST(ParallelSearch, BitIdenticalAcrossThreadCounts) {
+  const InstancePtr instance = heterogeneous_instance();
+  for (const RestartSeeding seeding :
+       {RestartSeeding::kSequentialCompat, RestartSeeding::kSubstreams}) {
+    ParallelSearchOptions options;
+    options.search = search_options(6);
+    options.seeding = seeding;
+    options.threads = 1;
+    const ParallelSearchResult reference =
+        parallel_optimize_mapping(instance, options);
+    EXPECT_EQ(reference.threads_used, 1u);
+    EXPECT_EQ(reference.restarts, 6u);
+    for (const std::size_t threads : {2, 8}) {
+      options.threads = threads;
+      const ParallelSearchResult result =
+          parallel_optimize_mapping(instance, options);
+      EXPECT_EQ(result.threads_used, std::min<std::size_t>(threads, 6));
+      expect_same_result(reference, result);
+    }
+  }
+}
+
+TEST(ParallelSearch, CompatSeedingEqualsTheSerialSearch) {
+  // Under sequential-compat seeding the portfolio IS the serial
+  // optimize_mapping, restart for restart: same mapping, bitwise-equal
+  // scores, same total evaluation count, and the same number of pattern
+  // solves requested (the serial hit/miss split differs — one shared cache
+  // versus per-worker caches — but the request total is cache-independent).
+  const InstancePtr instance = heterogeneous_instance();
+  const MappingSearchOptions search = search_options(5);
+
+  const MappingSearchResult serial = optimize_mapping(instance, search);
+
+  for (const std::size_t threads : {1, 4}) {
+    ParallelSearchOptions options;
+    options.search = search;
+    options.threads = threads;
+    const ParallelSearchResult parallel =
+        parallel_optimize_mapping(instance, options);
+    ASSERT_EQ(parallel.mapping.num_stages(), serial.mapping.num_stages());
+    for (std::size_t i = 0; i < serial.mapping.num_stages(); ++i) {
+      EXPECT_EQ(parallel.mapping.team(i), serial.mapping.team(i));
+    }
+    EXPECT_EQ(parallel.throughput, serial.throughput);  // bitwise
+    EXPECT_EQ(parallel.greedy_throughput, serial.greedy_throughput);
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+    EXPECT_EQ(parallel.pattern_requests,
+              serial.pattern_cache_hits + serial.pattern_cache_misses);
+    EXPECT_EQ(parallel.mapping.instance().get(), instance.get());
+  }
+}
+
+TEST(ParallelSearch, TraceMatchesAHandRolledSerialReplay) {
+  // Replay every restart through the exposed single-restart primitives,
+  // each on a fresh private context — the parallel trace must match row for
+  // row (trajectories, scores, and counts), for both seeding disciplines.
+  const InstancePtr instance = heterogeneous_instance();
+  const MappingSearchOptions search = search_options(5, 1234);
+  const Application& app = instance->application;
+  const Platform& platform = instance->platform;
+
+  for (const RestartSeeding seeding :
+       {RestartSeeding::kSequentialCompat, RestartSeeding::kSubstreams}) {
+    ParallelSearchOptions options;
+    options.search = search;
+    options.seeding = seeding;
+    options.threads = 4;
+    const ParallelSearchResult result =
+        parallel_optimize_mapping(instance, options);
+    ASSERT_EQ(result.trace.size(), 5u);
+
+    {
+      AnalysisContext context;
+      expect_same_trace_row(
+          result.trace[0], run_greedy_restart(instance, search, context), 0);
+    }
+    StreamFactory factory(search.seed);
+    Prng sequential(search.seed);
+    for (std::size_t k = 1; k < 5; ++k) {
+      StageAssignment start;
+      if (seeding == RestartSeeding::kSequentialCompat) {
+        start = draw_restart_assignment(app, platform, sequential);
+      } else {
+        // Substream mode: restart k's start comes from StreamFactory
+        // substream k — a pure function of (seed, k).
+        Prng stream = factory.stream(k);
+        start = draw_restart_assignment(app, platform, stream);
+      }
+      AnalysisContext context;
+      expect_same_trace_row(
+          result.trace[k],
+          run_random_restart(instance, std::move(start), search, context), k);
+    }
+  }
+}
+
+TEST(ParallelSearch, TiesResolveToTheLowestRestartIndex) {
+  // On the symmetric instance many restarts reach the same best score; the
+  // reduction must report the first of them, never a later one.
+  const InstancePtr instance = symmetric_instance();
+  ParallelSearchOptions options;
+  options.search = search_options(8, 7);
+  options.threads = 4;
+  const ParallelSearchResult result =
+      parallel_optimize_mapping(instance, options);
+
+  double best = -std::numeric_limits<double>::infinity();
+  for (const RestartResult& row : result.trace) {
+    if (row.feasible && row.score > best) best = row.score;
+  }
+  std::size_t first_attaining = result.trace.size();
+  std::size_t attaining = 0;
+  for (std::size_t k = 0; k < result.trace.size(); ++k) {
+    if (result.trace[k].feasible && result.trace[k].score == best) {
+      ++attaining;
+      first_attaining = std::min(first_attaining, k);
+    }
+  }
+  ASSERT_GE(attaining, 2u) << "instance too asymmetric to exercise ties";
+  EXPECT_EQ(result.best_restart, first_attaining);
+  EXPECT_EQ(result.throughput, best);
+}
+
+TEST(ParallelSearch, SubstreamSeedingHasThePrefixProperty) {
+  // Restart k is a pure function of (seed, k) under substream seeding, so
+  // growing the portfolio never changes the restarts already computed.
+  const InstancePtr instance = heterogeneous_instance();
+  ParallelSearchOptions options;
+  options.search = search_options(3, 99);
+  options.seeding = RestartSeeding::kSubstreams;
+  options.threads = 2;
+  const ParallelSearchResult small = parallel_optimize_mapping(instance, options);
+
+  options.search.restarts = 7;
+  options.threads = 8;
+  const ParallelSearchResult large = parallel_optimize_mapping(instance, options);
+
+  ASSERT_EQ(small.trace.size(), 3u);
+  ASSERT_EQ(large.trace.size(), 7u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    expect_same_trace_row(small.trace[k], large.trace[k], k);
+  }
+}
+
+TEST(ParallelSearch, AggregateStatsAreSumsOfTheTrace) {
+  const InstancePtr instance = heterogeneous_instance();
+  ParallelSearchOptions options;
+  options.search = search_options(6);
+  options.threads = 8;
+  const ParallelSearchResult result =
+      parallel_optimize_mapping(instance, options);
+
+  std::size_t evaluations = 0, requests = 0;
+  for (const RestartResult& row : result.trace) {
+    evaluations += row.evaluations;
+    requests += row.pattern_requests;
+  }
+  EXPECT_EQ(result.evaluations, evaluations);
+  EXPECT_EQ(result.pattern_requests, requests);
+  EXPECT_GT(result.evaluations, 0u);
+  EXPECT_GT(result.pattern_requests, 0u);
+}
+
+TEST(ParallelSearch, RestartsZeroAndOneAreEquivalent) {
+  const InstancePtr instance = heterogeneous_instance();
+  ParallelSearchOptions options;
+  options.search = search_options(0);
+  const ParallelSearchResult zero = parallel_optimize_mapping(instance, options);
+  options.search.restarts = 1;
+  const ParallelSearchResult one = parallel_optimize_mapping(instance, options);
+  expect_same_result(zero, one);
+  EXPECT_EQ(zero.restarts, 1u);
+  EXPECT_EQ(zero.best_restart, 0u);
+  EXPECT_EQ(zero.greedy_throughput, zero.trace[0].start_score);
+}
+
+TEST(ParallelSearch, BatchMatchesPerInstancePortfolios) {
+  // Scenario rows come back in order and equal the single-instance
+  // portfolio run on the same options; identical instances produce
+  // identical rows under the default shared seed.
+  std::vector<InstancePtr> instances{heterogeneous_instance(),
+                                     symmetric_instance(),
+                                     heterogeneous_instance()};
+  ParallelSearchOptions options;
+  options.search = search_options(4);
+  options.threads = 3;
+  const std::vector<ParallelSearchResult> batch =
+      parallel_optimize_batch(instances, options);
+  ASSERT_EQ(batch.size(), 3u);
+
+  for (std::size_t j = 0; j < 3; ++j) {
+    ParallelSearchOptions single = options;
+    single.threads = 1;
+    const ParallelSearchResult expected =
+        parallel_optimize_mapping(instances[j], single);
+    expect_same_result(batch[j], expected);
+    EXPECT_EQ(batch[j].mapping.instance().get(), instances[j].get());
+  }
+  // Instances 0 and 2 are identical files: identical rows.
+  expect_same_result(batch[0], batch[2]);
+}
+
+TEST(ParallelSearch, ScenarioStreamsDecorrelateIdenticalScenarios) {
+  // With per-scenario streams, scenario j's restarts draw from the seed
+  // stream advanced j long jumps: identical instance files now explore
+  // different random starts (deterministically), while the whole batch
+  // stays bit-identical across thread counts.
+  std::vector<InstancePtr> instances{heterogeneous_instance(),
+                                     heterogeneous_instance()};
+  ParallelSearchOptions options;
+  options.search = search_options(6, 5);
+  options.scenario_streams = true;
+  options.threads = 1;
+  const std::vector<ParallelSearchResult> reference =
+      parallel_optimize_batch(instances, options);
+
+  // Scenario 0 is the un-jumped stream: equal to the single-instance run.
+  expect_same_result(reference[0],
+                     parallel_optimize_mapping(instances[0], options));
+
+  // The random-restart traces must differ between the two scenarios (the
+  // greedy restart 0 is seed-independent and stays equal).
+  expect_same_trace_row(reference[0].trace[0], reference[1].trace[0], 0);
+  bool any_difference = false;
+  for (std::size_t k = 1; k < reference[0].trace.size(); ++k) {
+    if (reference[0].trace[k].assignment != reference[1].trace[k].assignment) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference)
+      << "scenario streams did not decorrelate the restarts";
+
+  for (const std::size_t threads : {2, 8}) {
+    options.threads = threads;
+    const std::vector<ParallelSearchResult> result =
+        parallel_optimize_batch(instances, options);
+    ASSERT_EQ(result.size(), reference.size());
+    for (std::size_t j = 0; j < result.size(); ++j) {
+      expect_same_result(result[j], reference[j]);
+    }
+  }
+}
+
+TEST(ParallelSearch, SharesOneInstanceAcrossWorkers) {
+  // Worker-private contexts all read the SAME Instance allocation (the
+  // thread-safety contract TSan verifies); after the run the only handles
+  // left are the caller's and the returned mapping's.
+  const InstancePtr instance = heterogeneous_instance();
+  ASSERT_EQ(instance.use_count(), 1);
+  ParallelSearchOptions options;
+  options.search = search_options(6);
+  options.threads = 4;
+  const ParallelSearchResult result =
+      parallel_optimize_mapping(instance, options);
+  EXPECT_EQ(result.mapping.instance().get(), instance.get());
+  EXPECT_EQ(instance.use_count(), 2);
+}
+
+TEST(ParallelSearch, Validation) {
+  EXPECT_THROW(parallel_optimize_mapping(nullptr, ParallelSearchOptions{}),
+               InvalidArgument);
+  EXPECT_THROW(parallel_optimize_batch({}, ParallelSearchOptions{}),
+               InvalidArgument);
+
+  // Option errors surface on the caller's thread, before any fan-out.
+  ParallelSearchOptions bad;
+  bad.search.model = ExecutionModel::kStrict;
+  bad.search.objective = MappingObjective::kExponential;
+  EXPECT_THROW(parallel_optimize_mapping(heterogeneous_instance(), bad),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace streamflow

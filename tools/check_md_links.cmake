@@ -1,0 +1,66 @@
+# Markdown link checker, run by CTest as
+#   cmake -DREPO_ROOT=<repo> -P check_md_links.cmake
+#
+# Verifies that every relative link target in README.md and docs/*.md exists
+# on disk, so the documentation cannot silently rot as files move. External
+# links (http/https/mailto) and pure in-page anchors are skipped; a trailing
+# "#anchor" on a file link is stripped before the existence check.
+
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "usage: cmake -DREPO_ROOT=<repo> -P check_md_links.cmake")
+endif()
+
+file(GLOB doc_files "${REPO_ROOT}/docs/*.md")
+list(APPEND doc_files "${REPO_ROOT}/README.md")
+list(LENGTH doc_files doc_count)
+if(doc_count LESS 2)
+  message(FATAL_ERROR "expected README.md plus docs/*.md under ${REPO_ROOT}, "
+                      "found only ${doc_count} file(s)")
+endif()
+
+set(broken "")
+set(checked 0)
+foreach(doc IN LISTS doc_files)
+  file(READ "${doc}" content)
+  get_filename_component(doc_dir "${doc}" DIRECTORY)
+  # Inline links: [text](target). Matches are consumed one at a time with a
+  # chop loop — MATCHALL would return elements starting with an unbalanced
+  # "]", which CMake's list machinery silently refuses to split on.
+  set(rest "${content}")
+  while(rest MATCHES "\\]\\(([^)\n]+)\\)")
+    set(target "${CMAKE_MATCH_1}")
+    string(FIND "${rest}" "](${target})" pos)
+    math(EXPR pos "${pos} + 2")
+    string(SUBSTRING "${rest}" ${pos} -1 rest)
+    # Drop an optional quoted link title ([text](file.md "Title")) and
+    # surrounding whitespace before classifying the target.
+    string(REGEX REPLACE "[ \t]+\"[^\"]*\"[ \t]*$" "" target "${target}")
+    string(STRIP "${target}" target)
+    if(target MATCHES "^(https?|mailto):" OR target MATCHES "^#")
+      continue()
+    endif()
+    string(REGEX REPLACE "#.*$" "" target_path "${target}")
+    if(target_path STREQUAL "")
+      continue()
+    endif()
+    if(IS_ABSOLUTE "${target_path}")
+      set(resolved "${target_path}")
+    else()
+      set(resolved "${doc_dir}/${target_path}")
+    endif()
+    math(EXPR checked "${checked} + 1")
+    if(NOT EXISTS "${resolved}")
+      list(APPEND broken "${doc}: broken link '${target}' (no such file: ${resolved})")
+    endif()
+  endwhile()
+endforeach()
+
+if(broken)
+  list(JOIN broken "\n  " broken_text)
+  message(FATAL_ERROR "markdown link check failed:\n  ${broken_text}")
+endif()
+if(checked EQUAL 0)
+  message(FATAL_ERROR "markdown link check matched no relative links — "
+                      "extraction regex broken?")
+endif()
+message(STATUS "markdown links OK (${checked} relative link(s) across ${doc_count} file(s))")

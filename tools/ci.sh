@@ -25,8 +25,10 @@ for config in "${configs[@]}"; do
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
   if [ "${config}" = "Release" ]; then
     # Smoke-run the search-throughput bench (no timing assertions enforced
-    # here; the SHAPE lines document the cache speedup and bit-identity)
-    # and archive its machine-readable summary as a build artifact.
+    # here; the SHAPE lines document the cache speedup, the bit-identity,
+    # and the parallel-portfolio threads sweep) and archive its
+    # machine-readable summary — threads_sweep section included — as a
+    # build artifact.
     echo "==> ${config}: bench smoke (search throughput)"
     "./${build_dir}/bench_search_throughput" --quick \
         --json "${build_dir}/BENCH_search_throughput.json"

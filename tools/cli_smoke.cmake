@@ -1,10 +1,13 @@
 # End-to-end smoke test for streamflow_cli, run by CTest as
-#   cmake -DCLI=<binary> -DWORK_DIR=<scratch dir> -P cli_smoke.cmake
+#   cmake -DCLI=<binary> -DWORK_DIR=<scratch dir> -DCLI_SOURCE=<cli .cpp>
+#         -P cli_smoke.cmake
 # Exercises --help plus the example -> analyze -> simulate -> export-tpn
-# round trip on a generated instance file.
+# round trip on a generated instance file, the parallel search/batch paths,
+# and audits the --help text against the flags the CLI actually parses.
 
-if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
-  message(FATAL_ERROR "usage: cmake -DCLI=<binary> -DWORK_DIR=<dir> -P cli_smoke.cmake")
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR OR NOT DEFINED CLI_SOURCE)
+  message(FATAL_ERROR "usage: cmake -DCLI=<binary> -DWORK_DIR=<dir> "
+                      "-DCLI_SOURCE=<cli .cpp> -P cli_smoke.cmake")
 endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
@@ -26,6 +29,28 @@ run_cli(0 help_out --help)
 if(NOT help_out MATCHES "usage" OR NOT help_out MATCHES "simulate")
   message(FATAL_ERROR "--help output does not look like usage text:\n${help_out}")
 endif()
+
+# Help-text audit: every flag the argument parser matches (the `a == "--x"`
+# comparisons in the CLI source) must be documented in --help, so a new
+# option can never ship invisible to users.
+file(READ "${CLI_SOURCE}" cli_source)
+string(REGEX MATCHALL "a == \"(--[a-z-]+)\"" parsed_flag_matches "${cli_source}")
+set(parsed_flags "")
+foreach(match IN LISTS parsed_flag_matches)
+  string(REGEX REPLACE "a == \"(--[a-z-]+)\"" "\\1" flag "${match}")
+  list(APPEND parsed_flags "${flag}")
+endforeach()
+list(REMOVE_DUPLICATES parsed_flags)
+list(LENGTH parsed_flags parsed_flag_count)
+if(parsed_flag_count LESS 10)
+  message(FATAL_ERROR "flag audit found only ${parsed_flag_count} parsed "
+                      "flags in ${CLI_SOURCE} — extraction regex broken?")
+endif()
+foreach(flag IN LISTS parsed_flags)
+  if(NOT help_out MATCHES "${flag}")
+    message(FATAL_ERROR "parsed flag '${flag}' is not documented in --help:\n${help_out}")
+  endif()
+endforeach()
 
 # A bad invocation must fail loudly.
 run_cli(2 ignored definitely-not-a-command)
@@ -51,22 +76,49 @@ if(NOT dot_out MATCHES "digraph")
   message(FATAL_ERROR "export-tpn did not emit DOT:\n${dot_out}")
 endif()
 
-# search: greedy + local-search mapping optimization through the shared
-# analysis context.
+# search: the parallel restart portfolio. Results must be byte-identical
+# for every --threads value (only the reported worker count may differ).
 run_cli(0 search_out search "${instance}" --objective exp --restarts 2 --seed 3)
 if(NOT search_out MATCHES "best mapping" OR
-   NOT search_out MATCHES "pattern cache")
+   NOT search_out MATCHES "pattern solves")
   message(FATAL_ERROR "search output incomplete:\n${search_out}")
 endif()
 
-# Batch mode: the same instance twice through ONE shared context must print
-# two identical result rows — the search is bit-identical whether the
-# pattern cache is cold (first row) or warm (second row).
+run_cli(0 search1_out search "${instance}" --objective exp --restarts 4
+        --seed 3 --threads 1)
+run_cli(0 search4_out search "${instance}" --objective exp --restarts 4
+        --seed 3 --threads 4)
+string(REGEX REPLACE "on [0-9]+ worker" "on N worker" search1_norm "${search1_out}")
+string(REGEX REPLACE "on [0-9]+ worker" "on N worker" search4_norm "${search4_out}")
+if(NOT search1_norm STREQUAL search4_norm)
+  message(FATAL_ERROR "search is not deterministic across --threads:\n"
+                      "--- 1 thread ---\n${search1_out}\n"
+                      "--- 4 threads ---\n${search4_out}")
+endif()
+
+# Substream seeding must also be --threads invariant (different scores than
+# the serial discipline are fine; scheduling dependence is not).
+run_cli(0 stream1_out search "${instance}" --objective exp --restarts 4
+        --seed 3 --restart-streams --threads 1)
+run_cli(0 stream8_out search "${instance}" --objective exp --restarts 4
+        --seed 3 --restart-streams --threads 8)
+string(REGEX REPLACE "on [0-9]+ worker" "on N worker" stream1_norm "${stream1_out}")
+string(REGEX REPLACE "on [0-9]+ worker" "on N worker" stream8_norm "${stream8_out}")
+if(NOT stream1_norm STREQUAL stream8_norm)
+  message(FATAL_ERROR "--restart-streams search is not deterministic across "
+                      "--threads:\n--- 1 thread ---\n${stream1_out}\n"
+                      "--- 8 threads ---\n${stream8_out}")
+endif()
+
+# Batch mode: scenario rows are dispatched across workers but printed in
+# file order; the same instance listed twice must produce two identical
+# result rows (every scenario shares --seed and rows are cache-state and
+# scheduling independent).
 file(WRITE "${WORK_DIR}/scenarios.txt"
      "# cli_smoke scenarios\nexample.instance\nexample.instance\n")
 run_cli(0 batch_out search --scenarios "${WORK_DIR}/scenarios.txt"
         --restarts 2 --seed 3)
-if(NOT batch_out MATCHES "shared pattern cache")
+if(NOT batch_out MATCHES "portfolio batch")
   message(FATAL_ERROR "batch search output incomplete:\n${batch_out}")
 endif()
 string(REGEX MATCHALL "example\\.instance[^\n]*" batch_rows "${batch_out}")
@@ -74,11 +126,34 @@ list(LENGTH batch_rows batch_row_count)
 if(NOT batch_row_count EQUAL 2)
   message(FATAL_ERROR "expected 2 scenario rows, got ${batch_row_count}:\n${batch_out}")
 endif()
-list(GET batch_rows 0 batch_row_cold)
-list(GET batch_rows 1 batch_row_warm)
-if(NOT batch_row_cold STREQUAL batch_row_warm)
-  message(FATAL_ERROR "search is not cache-state independent:\n"
-                      "cold: ${batch_row_cold}\nwarm: ${batch_row_warm}")
+list(GET batch_rows 0 batch_row_a)
+list(GET batch_rows 1 batch_row_b)
+if(NOT batch_row_a STREQUAL batch_row_b)
+  message(FATAL_ERROR "identical scenarios produced different rows:\n"
+                      "row 0: ${batch_row_a}\nrow 1: ${batch_row_b}")
+endif()
+
+# Batch must be byte-identical across --threads too (modulo the reported
+# worker count), including under per-scenario streams — where the two
+# identical scenario files must now produce DIFFERENT rows (independent
+# stream families), deterministically.
+run_cli(0 batchs1_out search --scenarios "${WORK_DIR}/scenarios.txt"
+        --restarts 3 --seed 3 --scenario-streams --threads 1)
+run_cli(0 batchs2_out search --scenarios "${WORK_DIR}/scenarios.txt"
+        --restarts 3 --seed 3 --scenario-streams --threads 2)
+string(REGEX REPLACE "on [0-9]+ worker" "on N worker" batchs1_norm "${batchs1_out}")
+string(REGEX REPLACE "on [0-9]+ worker" "on N worker" batchs2_norm "${batchs2_out}")
+if(NOT batchs1_norm STREQUAL batchs2_norm)
+  message(FATAL_ERROR "--scenario-streams batch is not deterministic across "
+                      "--threads:\n--- 1 thread ---\n${batchs1_out}\n"
+                      "--- 2 threads ---\n${batchs2_out}")
+endif()
+string(REGEX MATCHALL "example\\.instance[^\n]*" stream_rows "${batchs1_out}")
+list(GET stream_rows 0 stream_row_a)
+list(GET stream_rows 1 stream_row_b)
+if(stream_row_a STREQUAL stream_row_b)
+  message(FATAL_ERROR "--scenario-streams did not decorrelate identical "
+                      "scenarios:\n${batchs1_out}")
 endif()
 
 # Replicated simulate: must report statistics, and the numbers must be

@@ -7,7 +7,9 @@
 //                        [--replications R] [--threads T]
 //   streamflow search <instance-file> [--objective det|exp]
 //                      [--restarts R] [--seed S] [--max-paths P]
-//   streamflow search --scenarios <list-file> [same options]     # batch
+//                      [--threads T] [--restart-streams]
+//   streamflow search --scenarios <list-file> [same options]
+//                      [--scenario-streams]                       # batch
 //   streamflow export-tpn <instance-file> [--model overlap|strict]  # DOT
 //   streamflow example > my.instance                                # template
 //
@@ -19,13 +21,19 @@
 // every --threads value (see README, "Replicated experiments").
 //
 // `search` takes the application and platform of the instance (ignoring its
-// teams) and runs the greedy + local-search mapping heuristics through one
-// AnalysisContext, so communication-pattern solves are cached across the
-// thousands of candidates. `--scenarios FILE` runs every instance listed in
-// FILE (one path per line, '#' comments, relative to FILE's directory)
-// through the SAME shared context: recurring patterns across scenarios are
-// solved once. Results are independent of the cache state (bit-identical
-// warm or cold).
+// teams) and fans the greedy + local-search restarts out over a thread pool
+// (engine/parallel_search.hpp), each worker scoring candidates through a
+// private memoizing AnalysisContext over the one shared instance. Results
+// are bit-identical for every --threads value: by default the restarts
+// retrace the serial search exactly; --restart-streams seeds restart k from
+// jump-ahead substream k instead (a pure function of (seed, k), so growing
+// --restarts never changes earlier restarts). `--scenarios FILE` runs every
+// instance listed in FILE (one path per line, '#' comments, relative to
+// FILE's directory) as a second parallel axis: scenario rows are dispatched
+// across the workers and printed in file order; --scenario-streams gives
+// scenario j an independent stream family (default: all scenarios share
+// --seed, so identical instance files produce identical rows).
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -37,6 +45,7 @@
 #include "core/analysis_context.hpp"
 #include "core/analyzer.hpp"
 #include "core/heuristics.hpp"
+#include "engine/parallel_search.hpp"
 #include "engine/sim_replication.hpp"
 #include "model/serialization.hpp"
 #include "sim/pipeline_sim.hpp"
@@ -54,8 +63,9 @@ void print_usage(std::ostream& out) {
       << "             [--replications R] [--threads T]\n"
       << "  streamflow search <instance> [--model overlap|strict]\n"
       << "             [--objective det|exp] [--restarts R] [--seed S]\n"
-      << "             [--max-paths P]\n"
+      << "             [--max-paths P] [--threads T] [--restart-streams]\n"
       << "  streamflow search --scenarios <list-file> [same options]\n"
+      << "             [--scenario-streams]\n"
       << "  streamflow export-tpn <instance> [--model overlap|strict]\n"
       << "  streamflow example\n"
       << "  streamflow help | --help\n"
@@ -67,11 +77,19 @@ void print_usage(std::ostream& out) {
       << "\n"
       << "search finds a high-throughput mapping of the instance's\n"
       << "application onto its platform (the instance's own teams are\n"
-      << "ignored). All candidate evaluations share one analysis context:\n"
-      << "communication-pattern solves are cached and local-search moves\n"
-      << "are evaluated incrementally. --scenarios runs every instance\n"
+      << "ignored). The --restarts R local searches fan out over a thread\n"
+      << "pool (--threads T, 0 = all cores); every worker evaluates\n"
+      << "candidates through a private memoizing analysis context over the\n"
+      << "one shared instance, and the reduction is serial and in restart\n"
+      << "order — results are bit-identical for every --threads value and,\n"
+      << "by default, equal to the serial search. --restart-streams seeds\n"
+      << "restart k from jump-ahead substream k of --seed instead, making\n"
+      << "restart k independent of R. --scenarios runs every instance\n"
       << "listed in <list-file> (one path per line, '#' comments, paths\n"
-      << "relative to the list file) through the same shared context.\n";
+      << "relative to the list file) as a second parallel axis: rows are\n"
+      << "dispatched across the workers and printed in file order;\n"
+      << "--scenario-streams advances scenario j's seed stream j long\n"
+      << "jumps so identical scenarios explore different restarts.\n";
 }
 
 int usage() {
@@ -93,6 +111,8 @@ struct CliArgs {
   std::string scenarios_path;
   std::size_t restarts = 4;
   std::int64_t max_paths = 256;
+  bool restart_streams = false;   // substream-per-restart seeding
+  bool scenario_streams = false;  // independent stream family per scenario
 };
 
 /// Strict integer parse: the whole token must be consumed (rejects "1e6",
@@ -171,6 +191,10 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       const char* v = next();
       if (!v || !parse_integer(v, args.max_paths) || args.max_paths <= 0)
         return false;
+    } else if (a == "--restart-streams") {
+      args.restart_streams = true;
+    } else if (a == "--scenario-streams") {
+      args.scenario_streams = true;
     } else if (!a.empty() && a[0] != '-' && positional == 0) {
       args.instance_path = a;
       ++positional;
@@ -304,67 +328,99 @@ int cmd_search(const CliArgs& args) {
         "pass either an instance file or --scenarios, not both (list every "
         "instance in the scenario file)");
   }
-  MappingSearchOptions options;
-  options.model = args.model;
+  ParallelSearchOptions options;
+  options.search.model = args.model;
   if (args.objective.empty()) {
     // The exponential objective needs the column method (Overlap only).
-    options.objective = args.model == ExecutionModel::kStrict
-                            ? MappingObjective::kDeterministic
-                            : MappingObjective::kExponential;
+    options.search.objective = args.model == ExecutionModel::kStrict
+                                   ? MappingObjective::kDeterministic
+                                   : MappingObjective::kExponential;
   } else {
-    options.objective = args.objective == "det"
-                            ? MappingObjective::kDeterministic
-                            : MappingObjective::kExponential;
+    options.search.objective = args.objective == "det"
+                                   ? MappingObjective::kDeterministic
+                                   : MappingObjective::kExponential;
   }
-  options.restarts = args.restarts;
-  options.seed = args.seed;
-  options.max_paths = args.max_paths;
+  options.search.restarts = args.restarts;
+  options.search.seed = args.seed;
+  options.search.max_paths = args.max_paths;
+  options.threads = args.threads;
+  options.seeding = args.restart_streams ? RestartSeeding::kSubstreams
+                                         : RestartSeeding::kSequentialCompat;
+  options.scenario_streams = args.scenario_streams;
 
   const char* objective_name =
-      options.objective == MappingObjective::kDeterministic ? "deterministic"
-                                                            : "exponential";
-  // One context for the whole invocation: pattern solves are shared across
-  // all candidates of all scenarios.
-  AnalysisContext context;
+      options.search.objective == MappingObjective::kDeterministic
+          ? "deterministic"
+          : "exponential";
+  const char* seeding_name =
+      options.seeding == RestartSeeding::kSubstreams ? "substream" : "serial";
 
   if (args.scenarios_path.empty()) {
     const Mapping instance = load(args.instance_path);
-    // Share the loaded instance: the whole search runs without copying the
-    // application or the platform's bandwidth matrix.
-    const auto result = optimize_mapping(instance.instance(), options, context);
+    // Share the loaded instance: the whole portfolio runs without copying
+    // the application or the platform's bandwidth matrix. Everything below
+    // except the reported worker count is bit-identical for any --threads.
+    const ParallelSearchResult result =
+        parallel_optimize_mapping(instance.instance(), options);
     std::cout << "objective    : " << objective_name << " throughput ("
-              << to_string(options.model) << " model)\n";
+              << to_string(options.search.model) << " model)\n";
+    std::cout << "portfolio    : " << result.restarts << " restart(s), "
+              << seeding_name << " seeding, seed " << args.seed << ", on "
+              << result.threads_used
+              << " worker thread(s) (results independent of --threads)\n";
     std::cout << "best mapping : " << result.mapping.to_string() << "\n";
     std::cout << "throughput   : " << result.throughput << "  (greedy start "
-              << result.greedy_throughput << ")\n";
-    std::cout << "evaluations  : " << result.evaluations
-              << "  (pattern cache: " << result.pattern_cache_hits
-              << " hits / " << result.pattern_cache_misses << " misses)\n";
+              << result.greedy_throughput << ", best found by restart "
+              << result.best_restart << ")\n";
+    std::cout << "evaluations  : " << result.evaluations << "  ("
+              << result.pattern_requests
+              << " pattern solves requested across workers)\n";
     return 0;
   }
 
   const std::vector<std::string> scenarios =
       read_scenarios(args.scenarios_path);
+  // Load serially up front (errors name the first offending file), then fan
+  // the scenario portfolios out across the pool in one batch call.
+  std::vector<InstancePtr> instances;
+  instances.reserve(scenarios.size());
+  for (const std::string& path : scenarios) {
+    instances.push_back(load(path).instance());
+  }
+  const std::vector<ParallelSearchResult> results =
+      parallel_optimize_batch(instances, options);
+
   Table table({"scenario", "stages", "procs", "throughput", "greedy",
                "evaluations"});
   table.set_precision(6);
-  for (const std::string& path : scenarios) {
-    const Mapping instance = load(path);
-    const auto result = optimize_mapping(instance.instance(), options, context);
-    table.add_row({std::filesystem::path(path).filename().string(),
-                   static_cast<std::int64_t>(instance.num_stages()),
-                   static_cast<std::int64_t>(instance.num_processors()),
+  std::size_t evaluations = 0, pattern_requests = 0;
+  for (std::size_t j = 0; j < scenarios.size(); ++j) {
+    const ParallelSearchResult& result = results[j];
+    table.add_row({std::filesystem::path(scenarios[j]).filename().string(),
+                   static_cast<std::int64_t>(instances[j]->application
+                                                 .num_stages()),
+                   static_cast<std::int64_t>(instances[j]->platform
+                                                 .num_processors()),
                    result.throughput, result.greedy_throughput,
                    static_cast<std::int64_t>(result.evaluations)});
+    evaluations += result.evaluations;
+    pattern_requests += result.pattern_requests;
   }
+  // Mirrors the pool sizing inside parallel_optimize_batch (each returned
+  // row's own threads_used is 1 by design: one worker per scenario).
+  const std::size_t threads_used = std::min<std::size_t>(
+      options.resolved_threads(), scenarios.size());
   table.print(std::cout,
               std::string("mapping search (") + objective_name +
-                  " objective, seed " + std::to_string(args.seed) + ")");
-  const AnalysisCacheStats& stats = context.stats();
-  std::cout << "\nshared pattern cache: " << context.pattern_cache_size()
-            << " entries, " << stats.pattern_hits << " hits / "
-            << stats.pattern_misses << " misses across " << scenarios.size()
-            << " scenario(s)\n";
+                  " objective, seed " + std::to_string(args.seed) +
+                  (options.scenario_streams ? ", scenario streams" : "") +
+                  ")");
+  std::cout << "\nportfolio batch: " << scenarios.size() << " scenario(s) x "
+            << std::max<std::size_t>(args.restarts, 1) << " restart(s) on "
+            << threads_used << " worker thread(s)\n";
+  std::cout << "evaluations    : " << evaluations << " total, "
+            << pattern_requests << " pattern solves requested (rows "
+            << "independent of --threads)\n";
   return 0;
 }
 
