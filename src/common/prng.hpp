@@ -6,6 +6,11 @@
 // xoshiro256++ seeded through splitmix64, plus the uniform/normal/gamma/beta
 // transforms the dist/ module builds on. All transforms are written out
 // explicitly so results never vary with the standard library.
+//
+// The transforms live on the abstract RandomSource so that every entropy
+// source serving the same raw 64-bit stream produces byte-identical variates:
+// Prng (the scalar xoshiro256++ engine) and BufferedPrng
+// (common/buffered_prng.hpp, the SIMD-refilled facade) share them verbatim.
 #pragma once
 
 #include <array>
@@ -26,39 +31,27 @@ inline std::uint64_t splitmix64_next(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-/// xoshiro256++ by Blackman & Vigna: fast, high-quality, 2^256-1 period.
-class Prng {
+/// The one uint64 -> [0, 1) conversion used everywhere (53 random bits).
+/// Exact: the shifted value is < 2^53, so both the int->double conversion and
+/// the power-of-two scaling are exact — any kernel reproducing this expression
+/// on the same raw draw yields the identical double.
+inline double u64_to_unit_double(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// A deterministic stream of raw 64-bit draws plus the explicit variate
+/// transforms built on it. Concrete sources only define next_u64(); every
+/// transform below consumes raw draws exclusively through it, so two sources
+/// serving the same raw stream produce byte-identical variate sequences.
+class RandomSource {
  public:
-  using result_type = std::uint64_t;
+  virtual ~RandomSource() = default;
 
-  explicit Prng(std::uint64_t seed = 0x853C49E6748FEA9BULL) { reseed(seed); }
-
-  void reseed(std::uint64_t seed) {
-    std::uint64_t sm = seed;
-    for (auto& word : state_) word = splitmix64_next(sm);
-  }
-
-  static constexpr result_type min() { return 0; }
-  static constexpr result_type max() {
-    return std::numeric_limits<std::uint64_t>::max();
-  }
-
-  result_type operator()() {
-    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-    const std::uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-  }
+  /// The next raw 64-bit draw of the stream.
+  virtual std::uint64_t next_u64() = 0;
 
   /// Uniform double in [0, 1) with 53 bits of randomness.
-  double uniform01() {
-    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-  }
+  double uniform01() { return u64_to_unit_double(next_u64()); }
 
   /// Uniform double in (0, 1] — safe as log() argument.
   double uniform01_open_low() { return 1.0 - uniform01(); }
@@ -73,13 +66,13 @@ class Prng {
   std::uint64_t uniform_index(std::uint64_t n) {
     SF_REQUIRE(n > 0, "uniform_index over empty range");
     // Lemire's unbiased bounded generation.
-    std::uint64_t x = (*this)();
+    std::uint64_t x = next_u64();
     __uint128_t m = static_cast<__uint128_t>(x) * n;
     std::uint64_t lo = static_cast<std::uint64_t>(m);
     if (lo < n) {
       const std::uint64_t threshold = (0 - n) % n;
       while (lo < threshold) {
-        x = (*this)();
+        x = next_u64();
         m = static_cast<__uint128_t>(x) * n;
         lo = static_cast<std::uint64_t>(m);
       }
@@ -141,12 +134,69 @@ class Prng {
     return x / (x + y);
   }
 
-  /// Derive an independent child stream (for per-resource streams in the
-  /// simulators; streams seeded from distinct indices never overlap in
-  /// practice thanks to splitmix64 scrambling).
-  Prng split(std::uint64_t stream_index) {
-    std::uint64_t s = (*this)() ^ (0x9E3779B97F4A7C15ULL * (stream_index + 1));
-    return Prng(s);
+ protected:
+  RandomSource() = default;
+  RandomSource(const RandomSource&) = default;
+  RandomSource& operator=(const RandomSource&) = default;
+
+  /// Drops any pending polar deviate (a jump or reseed invalidates it: it
+  /// belongs to the pre-jump stream).
+  void discard_cached_normal() { has_cached_normal_ = false; }
+
+ private:
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// xoshiro256++ by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Prng final : public RandomSource {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Prng(std::uint64_t seed = 0x853C49E6748FEA9BULL) { reseed(seed); }
+
+  /// Start from an explicit 256-bit state (little-endian word order) — used
+  /// by split(), the golden-vector tests, and the SIMD refill layer. The
+  /// all-zero state is the one fixed point of the recurrence and is rejected.
+  explicit Prng(const std::array<std::uint64_t, 4>& state) : state_(state) {
+    SF_REQUIRE(state[0] != 0 || state[1] != 0 || state[2] != 0 || state[3] != 0,
+               "xoshiro256++ cannot start from the all-zero state");
+  }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+    discard_cached_normal();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() { return step(); }
+
+  std::uint64_t next_u64() override { return step(); }
+
+  /// Derive an independent child stream as a PURE function of (current
+  /// state, stream_index): the parent is not advanced and no draw is
+  /// consumed, so splitting never perturbs the parent's subsequent
+  /// byte-exact draw order. All 256 parent state bits and the index feed a
+  /// splitmix64 absorb/squeeze chain (the pre-PR6 derivation consumed a
+  /// parent draw and folded everything through a single 64-bit seed, which
+  /// both mutated the parent and made child collisions a birthday problem on
+  /// 64 bits).
+  Prng split(std::uint64_t stream_index) const {
+    std::array<std::uint64_t, 4> child{};
+    std::uint64_t chain = 0x9E3779B97F4A7C15ULL * (stream_index + 1);
+    bool all_zero = true;
+    for (std::size_t w = 0; w < 4; ++w) {
+      chain ^= state_[w];
+      child[w] = splitmix64_next(chain);
+      all_zero = all_zero && child[w] == 0;
+    }
+    if (all_zero) child[0] = 1;  // probability 2^-256, but zero is fatal
+    return Prng(child);
   }
 
   /// Advance the state by exactly 2^128 steps of operator() — the published
@@ -172,12 +222,25 @@ class Prng {
   }
 
   /// Raw 256-bit state (little-endian word order), for tests that verify the
-  /// jump against an independent GF(2) matrix-power computation.
+  /// jump against an independent GF(2) matrix-power computation and for the
+  /// SIMD refill layer, which continues the stream from this state.
   const std::array<std::uint64_t, 4>& state() const { return state_; }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t step() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
   }
 
   /// Multiply the state (a GF(2) vector) by the given polynomial in the step
@@ -189,16 +252,14 @@ class Prng {
         if (word & (1ULL << bit)) {
           for (std::size_t i = 0; i < state_.size(); ++i) acc[i] ^= state_[i];
         }
-        (*this)();
+        step();
       }
     }
     state_ = acc;
-    has_cached_normal_ = false;
+    discard_cached_normal();
   }
 
   std::array<std::uint64_t, 4> state_{};
-  double cached_normal_ = 0.0;
-  bool has_cached_normal_ = false;
 };
 
 }  // namespace streamflow

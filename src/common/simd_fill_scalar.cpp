@@ -1,0 +1,176 @@
+// Portable fallback kernels and the runtime ISA dispatch logic.
+#include "common/simd_fill.hpp"
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace streamflow::simd {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// One xoshiro256++ step on lane j of the block — the scalar recurrence of
+/// Prng::step(), verbatim.
+inline std::uint64_t step_lane(LaneBlock& lanes, std::size_t j) {
+  const std::uint64_t result =
+      rotl(lanes.s[0][j] + lanes.s[3][j], 23) + lanes.s[0][j];
+  const std::uint64_t t = lanes.s[1][j] << 17;
+  lanes.s[2][j] ^= lanes.s[0][j];
+  lanes.s[3][j] ^= lanes.s[1][j];
+  lanes.s[1][j] ^= lanes.s[2][j];
+  lanes.s[0][j] ^= lanes.s[3][j];
+  lanes.s[2][j] ^= t;
+  lanes.s[3][j] = rotl(lanes.s[3][j], 45);
+  return result;
+}
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kSse4:
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("sse4.1");
+#else
+      return false;
+#endif
+    case Isa::kAvx2:
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq");
+#else
+      return false;
+#endif
+    case Isa::kAuto:
+      return true;
+  }
+  return false;
+}
+
+bool compiled_in(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+    case Isa::kAuto:
+      return true;
+    case Isa::kSse4:
+      return fill_sse4() != nullptr;
+    case Isa::kAvx2:
+      return fill_avx2() != nullptr;
+    case Isa::kAvx512:
+      return fill_avx512() != nullptr;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse4:
+      return "sse4";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+void fill_scalar(LaneBlock& lanes, std::uint64_t* out, std::size_t per_lane) {
+  for (std::size_t j = 0; j < kLanes; ++j) {
+    std::uint64_t* run = out + j * per_lane;
+    for (std::size_t i = 0; i < per_lane; ++i) run[i] = step_lane(lanes, j);
+  }
+}
+
+void fill_u01_scalar(LaneBlock& lanes, double* out, std::size_t per_lane) {
+  for (std::size_t j = 0; j < kLanes; ++j) {
+    double* run = out + j * per_lane;
+    for (std::size_t i = 0; i < per_lane; ++i)
+      run[i] = u64_to_unit_double(step_lane(lanes, j));
+  }
+}
+
+void convert_u01_scalar(const std::uint64_t* in, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = u64_to_unit_double(in[i]);
+}
+
+bool isa_available(Isa isa) { return compiled_in(isa) && cpu_supports(isa); }
+
+Isa best_isa() {
+  static const Isa best = [] {
+    for (const Isa isa : {Isa::kAvx512, Isa::kAvx2, Isa::kSse4}) {
+      if (isa_available(isa)) return isa;
+    }
+    return Isa::kScalar;
+  }();
+  return best;
+}
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> isas{Isa::kScalar};
+  for (const Isa isa : {Isa::kSse4, Isa::kAvx2, Isa::kAvx512}) {
+    if (isa_available(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+FillFn fill_fn(Isa isa) {
+  if (isa == Isa::kAuto) isa = best_isa();
+  SF_REQUIRE(isa_available(isa), "requested SIMD ISA is not available");
+  switch (isa) {
+    case Isa::kSse4:
+      return fill_sse4();
+    case Isa::kAvx2:
+      return fill_avx2();
+    case Isa::kAvx512:
+      return fill_avx512();
+    default:
+      return &fill_scalar;
+  }
+}
+
+FillU01Fn fill_u01_fn(Isa isa) {
+  if (isa == Isa::kAuto) isa = best_isa();
+  SF_REQUIRE(isa_available(isa), "requested SIMD ISA is not available");
+  switch (isa) {
+    case Isa::kSse4:
+      return fill_u01_sse4();
+    case Isa::kAvx2:
+      return fill_u01_avx2();
+    case Isa::kAvx512:
+      return fill_u01_avx512();
+    default:
+      return &fill_u01_scalar;
+  }
+}
+
+ConvertU01Fn convert_u01_fn(Isa isa) {
+  if (isa == Isa::kAuto) isa = best_isa();
+  SF_REQUIRE(isa_available(isa), "requested SIMD ISA is not available");
+  switch (isa) {
+    case Isa::kSse4:
+      return convert_u01_sse4();
+    case Isa::kAvx2:
+      return convert_u01_avx2();
+    case Isa::kAvx512:
+      return convert_u01_avx512();
+    default:
+      return &convert_u01_scalar;
+  }
+}
+
+}  // namespace streamflow::simd

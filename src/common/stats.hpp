@@ -52,11 +52,34 @@ class RunningStats {
   }
   double stddev() const { return std::sqrt(variance()); }
 
-  /// Half-width of the ~95% normal confidence interval on the mean.
+  /// Half-width of the ~95% confidence interval on the mean, using the
+  /// Student-t 97.5% quantile at count-1 degrees of freedom. The previous
+  /// normal-quantile constant (1.96) understated the interval badly at the
+  /// replication counts the experiment engine actually runs (at R = 4 the
+  /// correct factor is 3.182 — 62% wider). Above kStudentTCutoff degrees of
+  /// freedom the t quantile is within 0.7% of 1.96 and the normal
+  /// approximation takes over.
   double ci95_halfwidth() const {
     if (count_ < 2) return std::numeric_limits<double>::infinity();
-    return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+    return t975_quantile(count_ - 1) * stddev() /
+           std::sqrt(static_cast<double>(count_));
   }
+
+  /// Student-t distribution 97.5% quantile for `df` degrees of freedom
+  /// (exact table through kStudentTCutoff, 1.96 beyond).
+  static double t975_quantile(std::size_t df) {
+    static constexpr double kTable[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    if (df == 0) return std::numeric_limits<double>::infinity();
+    if (df > kStudentTCutoff) return 1.96;
+    return kTable[df - 1];
+  }
+
+  /// Largest df served from the t table; beyond it 1.96 is used.
+  static constexpr std::size_t kStudentTCutoff = 30;
 
  private:
   std::size_t count_ = 0;

@@ -1,5 +1,6 @@
 #include "dist/distribution.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <iomanip>
@@ -7,7 +8,18 @@
 #include <sstream>
 #include <vector>
 
+#include "common/buffered_prng.hpp"
+
 namespace streamflow {
+
+// Fallback batch path: rejection samplers and data-dependent mixtures draw
+// one sample at a time from the buffered raw stream, so their (value-
+// dependent) draw counts interleave exactly as in the scalar path.
+void Distribution::sample_batch(BufferedPrng& prng, double* out,
+                                std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = sample(prng);
+}
+
 namespace {
 
 constexpr double kSqrt2 = 1.4142135623730951;
@@ -36,7 +48,11 @@ class ConstantLaw final : public Distribution {
     SF_REQUIRE(std::isfinite(value) && value >= 0.0,
                "constant law needs a finite value >= 0");
   }
-  double sample(Prng&) const override { return value_; }
+  double sample(RandomSource&) const override { return value_; }
+  // Consumes no draws, exactly like sample().
+  void sample_batch(BufferedPrng&, double* out, std::size_t n) const override {
+    std::fill(out, out + n, value_);
+  }
   double mean() const override { return value_; }
   double variance() const override { return 0.0; }
   bool is_nbue() const override { return true; }
@@ -60,7 +76,18 @@ class ExponentialLaw final : public Distribution {
     SF_REQUIRE(std::isfinite(rate) && rate > 0.0,
                "exponential rate must be positive");
   }
-  double sample(Prng& prng) const override { return prng.exponential(rate_); }
+  double sample(RandomSource& prng) const override {
+    return prng.exponential(rate_);
+  }
+  // Batched inversion. The expression mirrors RandomSource::exponential()
+  // term for term (1.0 - u is uniform01_open_low()), so each output is
+  // bit-identical to the scalar draw on the same raw value.
+  void sample_batch(BufferedPrng& prng, double* out,
+                    std::size_t n) const override {
+    prng.fill_uniform01(out, n);
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = -std::log(1.0 - out[i]) / rate_;
+  }
   double mean() const override { return 1.0 / rate_; }
   double variance() const override { return 1.0 / (rate_ * rate_); }
   bool is_nbue() const override { return true; }
@@ -82,7 +109,16 @@ class UniformLaw final : public Distribution {
     SF_REQUIRE(std::isfinite(lo) && std::isfinite(hi) && lo >= 0.0 && lo <= hi,
                "uniform law needs 0 <= lo <= hi");
   }
-  double sample(Prng& prng) const override { return prng.uniform(lo_, hi_); }
+  double sample(RandomSource& prng) const override {
+    return prng.uniform(lo_, hi_);
+  }
+  // Batched inversion, mirroring RandomSource::uniform() bit for bit.
+  void sample_batch(BufferedPrng& prng, double* out,
+                    std::size_t n) const override {
+    prng.fill_uniform01(out, n);
+    const double width = hi_ - lo_;
+    for (std::size_t i = 0; i < n; ++i) out[i] = lo_ + width * out[i];
+  }
   double mean() const override { return 0.5 * (lo_ + hi_); }
   double variance() const override {
     const double w = hi_ - lo_;
@@ -127,7 +163,7 @@ class TruncatedNormalLaw final : public Distribution {
     mean_ = mu_ + sigma_ * h;
     variance_ = sigma_ * sigma_ * (1.0 + alpha * h - h * h);
   }
-  double sample(Prng& prng) const override {
+  double sample(RandomSource& prng) const override {
     for (;;) {
       const double x = mu_ + sigma_ * prng.normal01();
       if (x >= 0.0) return x;
@@ -164,7 +200,7 @@ class GammaLaw final : public Distribution {
     SF_REQUIRE(std::isfinite(scale) && scale > 0.0,
                "gamma scale must be positive");
   }
-  double sample(Prng& prng) const override {
+  double sample(RandomSource& prng) const override {
     return scale_ * prng.gamma(shape_);
   }
   double mean() const override { return shape_ * scale_; }
@@ -197,7 +233,7 @@ class BetaLaw final : public Distribution {
     SF_REQUIRE(std::isfinite(scale) && scale > 0.0,
                "beta scale must be positive");
   }
-  double sample(Prng& prng) const override {
+  double sample(RandomSource& prng) const override {
     return scale_ * prng.beta(alpha_, beta_);
   }
   double mean() const override { return scale_ * alpha_ / (alpha_ + beta_); }
@@ -233,10 +269,18 @@ class WeibullLaw final : public Distribution {
     SF_REQUIRE(std::isfinite(scale) && scale > 0.0,
                "weibull scale must be positive");
   }
-  double sample(Prng& prng) const override {
+  double sample(RandomSource& prng) const override {
     // Inversion: S(x) = exp(-(x/scale)^shape).
     return scale_ *
            std::pow(-std::log(prng.uniform01_open_low()), 1.0 / shape_);
+  }
+  // Batched inversion; same expression tree as sample(), bit for bit.
+  void sample_batch(BufferedPrng& prng, double* out,
+                    std::size_t n) const override {
+    prng.fill_uniform01(out, n);
+    const double inv_shape = 1.0 / shape_;
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = scale_ * std::pow(-std::log(1.0 - out[i]), inv_shape);
   }
   double mean() const override {
     return scale_ * std::tgamma(1.0 + 1.0 / shape_);
@@ -270,7 +314,7 @@ class LognormalLaw final : public Distribution {
     SF_REQUIRE(std::isfinite(sigma) && sigma > 0.0,
                "lognormal sigma must be positive");
   }
-  double sample(Prng& prng) const override {
+  double sample(RandomSource& prng) const override {
     return std::exp(mu_ + sigma_ * prng.normal01());
   }
   double mean() const override {
@@ -308,9 +352,17 @@ class ParetoLaw final : public Distribution {
     SF_REQUIRE(std::isfinite(minimum) && minimum > 0.0,
                "pareto minimum must be positive");
   }
-  double sample(Prng& prng) const override {
+  double sample(RandomSource& prng) const override {
     // Inversion: S(x) = (minimum/x)^shape.
     return minimum_ * std::pow(prng.uniform01_open_low(), -1.0 / shape_);
+  }
+  // Batched inversion; same expression tree as sample(), bit for bit.
+  void sample_batch(BufferedPrng& prng, double* out,
+                    std::size_t n) const override {
+    prng.fill_uniform01(out, n);
+    const double exponent = -1.0 / shape_;
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = minimum_ * std::pow(1.0 - out[i], exponent);
   }
   double mean() const override { return shape_ * minimum_ / (shape_ - 1.0); }
   double variance() const override {
@@ -346,7 +398,7 @@ class HyperexponentialLaw final : public Distribution {
     SF_REQUIRE(std::isfinite(lambda2) && lambda2 > 0.0,
                "hyperexponential rate 2 must be positive");
   }
-  double sample(Prng& prng) const override {
+  double sample(RandomSource& prng) const override {
     const double rate = prng.uniform01() < p_ ? lambda1_ : lambda2_;
     return prng.exponential(rate);
   }

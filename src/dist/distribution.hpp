@@ -16,6 +16,7 @@
 // The empirical counterpart (dist/nbue_test.hpp) cross-checks these flags.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -23,6 +24,8 @@
 #include "common/prng.hpp"
 
 namespace streamflow {
+
+class BufferedPrng;
 
 class Distribution;
 using DistributionPtr = std::shared_ptr<const Distribution>;
@@ -32,8 +35,21 @@ class Distribution {
  public:
   virtual ~Distribution() = default;
 
-  /// Draw one value >= 0, consuming entropy from `prng` only.
-  virtual double sample(Prng& prng) const = 0;
+  /// Draw one value >= 0, consuming entropy from `prng` only. Takes the
+  /// abstract RandomSource so the same law serves both the scalar Prng and
+  /// the SIMD-refilled BufferedPrng with byte-identical results on the same
+  /// raw stream.
+  virtual double sample(RandomSource& prng) const = 0;
+
+  /// Draw `n` values into out[0..n), byte-identical to n sequential
+  /// sample(prng) calls on the same source. The base implementation loops
+  /// sample(); the inversion families (constant, exponential, uniform,
+  /// weibull, pareto) override it with batched transform kernels fed by
+  /// BufferedPrng::fill_uniform01. Rejection samplers and data-dependent
+  /// mixtures deliberately keep the scalar loop: their per-sample draw count
+  /// is value-dependent, so any reordering would change the stream.
+  virtual void sample_batch(BufferedPrng& prng, double* out,
+                            std::size_t n) const;
 
   /// Exact expectation (always finite; laws with infinite mean are rejected
   /// at construction because throughput analysis needs finite means).

@@ -32,6 +32,8 @@ class History {
   std::vector<double> values_;
 };
 
+/// Type-erased sampler for the paths where per-draw overhead is acceptable
+/// (scalar-compat mode, association multipliers).
 struct Sampler {
   /// comp(i, n): computation time of stage i for data set n;
   /// comm(i, n): transfer time of file F_i for data set n.
@@ -39,8 +41,69 @@ struct Sampler {
   std::function<double(std::size_t, std::int64_t)> comm;
 };
 
+/// Independent-case fast path: one BatchSampler per (stage, team member)
+/// compute unit — the member's law is fixed, so inversion families get the
+/// vectorized transform — and one BufferedPrng per link, sampled per draw
+/// because the (sender, receiver) law varies with the round-robin phase.
+/// Stream indices are assigned in a fixed enumeration order (all compute
+/// units stage-major, then links), so results depend only on (inputs, seed).
+struct BatchedTimingSampler {
+  BatchedTimingSampler(const Mapping& mapping, const StochasticTiming& timing,
+                       const Prng& root, const PipelineSimOptions& options)
+      : mapping_(mapping), timing_(timing) {
+    const std::size_t n_stages = mapping.num_stages();
+    std::size_t total_members = 0;
+    comp_offset_.reserve(n_stages);
+    for (std::size_t i = 0; i < n_stages; ++i) {
+      comp_offset_.push_back(total_members);
+      total_members += mapping.team(i).size();
+    }
+    const std::size_t n_links = n_stages > 1 ? n_stages - 1 : 0;
+    const std::size_t block = pick_block_draws(
+        total_members + n_links, static_cast<std::size_t>(options.data_sets));
+    comp_samplers_.reserve(total_members);
+    std::size_t stream = 0;
+    for (std::size_t i = 0; i < n_stages; ++i) {
+      for (const std::size_t p : mapping.team(i)) {
+        comp_samplers_.emplace_back(timing.comp(p), root.split(stream++),
+                                    options.refill_isa, block);
+      }
+    }
+    comm_streams_.reserve(n_links);
+    for (std::size_t i = 0; i < n_links; ++i) {
+      comm_streams_.emplace_back(root.split(stream++), options.refill_isa,
+                                 block);
+    }
+  }
+
+  double comp(std::size_t i, std::int64_t n) {
+    const auto& team = mapping_.team(i);
+    const auto member = static_cast<std::size_t>(
+        n % static_cast<std::int64_t>(team.size()));
+    return comp_samplers_[comp_offset_[i] + member].next();
+  }
+
+  double comm(std::size_t i, std::int64_t n) {
+    const auto& senders = mapping_.team(i);
+    const auto& receivers = mapping_.team(i + 1);
+    const std::size_t p = senders[static_cast<std::size_t>(
+        n % static_cast<std::int64_t>(senders.size()))];
+    const std::size_t q = receivers[static_cast<std::size_t>(
+        n % static_cast<std::int64_t>(receivers.size()))];
+    return timing_.comm(p, q)->sample(comm_streams_[i]);
+  }
+
+ private:
+  const Mapping& mapping_;
+  const StochasticTiming& timing_;
+  std::vector<std::size_t> comp_offset_;
+  std::vector<BatchSampler> comp_samplers_;
+  std::vector<BufferedPrng> comm_streams_;
+};
+
+template <typename SamplerT>
 PipelineSimResult run(const Mapping& mapping, ExecutionModel model,
-                      const Sampler& sampler,
+                      SamplerT& sampler,
                       const PipelineSimOptions& options) {
   options.validate();
 
@@ -172,6 +235,16 @@ PipelineSimResult simulate_pipeline(const Mapping& mapping,
                                     ExecutionModel model,
                                     const StochasticTiming& timing, Prng& prng,
                                     const PipelineSimOptions& options) {
+  options.validate();
+  if (options.sampling == SamplingMode::kBatched) {
+    // Per-resource substreams split from the stream's entry state; the
+    // parent advances exactly one draw so back-to-back simulations on the
+    // same injected stream see fresh substream families.
+    const Prng root = prng;
+    (void)prng();
+    BatchedTimingSampler sampler(mapping, timing, root, options);
+    return run(mapping, model, sampler, options);
+  }
   Sampler sampler;
   sampler.comp = [&mapping, &timing, &prng](std::size_t i, std::int64_t n) {
     const auto& team = mapping.team(i);
@@ -202,6 +275,7 @@ PipelineSimResult simulate_pipeline(const Mapping& mapping,
 PipelineSimResult simulate_pipeline_associated(
     const Mapping& mapping, ExecutionModel model, const Distribution& size_law,
     Prng& prng, const PipelineSimOptions& options, AssociationScope scope) {
+  options.validate();
   const DistributionPtr unit_law = size_law.with_mean(1.0);
   const std::size_t n_stages = mapping.num_stages();
 
@@ -211,17 +285,44 @@ PipelineSimResult simulate_pipeline_associated(
   std::vector<double> work_mult(n_stages, 1.0);
   std::vector<double> size_mult(n_stages > 1 ? n_stages - 1 : 0, 1.0);
   std::int64_t drawn_for = -1;
+
+  // Batched mode: one BatchSampler per multiplier slot (a single shared
+  // slot for kPerDataSet; one per stage and per link for kPerStage), each
+  // on its own pure substream of the entry state, consumed in data-set
+  // order. Scalar-compat mode leaves slot_samplers empty and draws from the
+  // injected stream inline.
+  std::vector<BatchSampler> slot_samplers;
+  if (options.sampling == SamplingMode::kBatched) {
+    const Prng root = prng;
+    (void)prng();
+    const std::size_t n_slots = scope == AssociationScope::kPerDataSet
+                                    ? 1
+                                    : work_mult.size() + size_mult.size();
+    const std::size_t block = pick_block_draws(
+        n_slots, static_cast<std::size_t>(options.data_sets));
+    slot_samplers.reserve(n_slots);
+    for (std::size_t k = 0; k < n_slots; ++k) {
+      slot_samplers.emplace_back(unit_law, root.split(k), options.refill_isa,
+                                 block);
+    }
+  }
+
   auto refresh = [&](std::int64_t n) {
     if (drawn_for == n) return;
     drawn_for = n;
+    const bool batched = !slot_samplers.empty();
     if (scope == AssociationScope::kPerDataSet) {
-      const double shared = unit_law->sample(prng);
+      const double shared =
+          batched ? slot_samplers[0].next() : unit_law->sample(prng);
       for (double& w : work_mult) w = shared;
       for (double& s : size_mult) s = shared;
       return;
     }
-    for (double& w : work_mult) w = unit_law->sample(prng);
-    for (double& s : size_mult) s = unit_law->sample(prng);
+    std::size_t slot = 0;
+    for (double& w : work_mult)
+      w = batched ? slot_samplers[slot++].next() : unit_law->sample(prng);
+    for (double& s : size_mult)
+      s = batched ? slot_samplers[slot++].next() : unit_law->sample(prng);
   };
 
   Sampler sampler;

@@ -47,21 +47,14 @@ std::vector<std::size_t> token_free_topo_order(const TimedEventGraph& graph) {
   return order;
 }
 
-}  // namespace
-
-void TegSimOptions::validate() const {
-  SF_REQUIRE(rounds >= 10, "need at least 10 rounds");
-  SF_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
-             "warmup fraction must be in [0, 1)");
-}
-
-TegSimResult simulate_teg(const TimedEventGraph& graph,
-                          const std::vector<DistributionPtr>& laws,
-                          Prng& prng, const TegSimOptions& options) {
-  SF_REQUIRE(laws.size() == graph.num_transitions(),
-             "need one law per transition");
-  options.validate();
-
+/// The (max,plus) round loop, generic over how transition t draws its
+/// firing time (scalar-compat: one shared stream in program order; batched:
+/// one BatchSampler per transition). Static dispatch — a per-draw
+/// std::function here would cost exactly the call overhead the batched
+/// sampling layer exists to remove.
+template <typename DrawFn>
+TegSimResult run_rounds(const TimedEventGraph& graph,
+                        const TegSimOptions& options, DrawFn&& draw) {
   const std::vector<std::size_t> order = token_free_topo_order(graph);
 
   // prev[t] = completion of firing k-1, curr[t] = completion of firing k.
@@ -91,7 +84,7 @@ TegSimResult simulate_teg(const TimedEventGraph& graph,
             p.initial_tokens > 0 ? prev[p.from] : curr[p.from];
         ready = std::max(ready, avail);
       }
-      curr[t] = ready + laws[t]->sample(prng);
+      curr[t] = ready + draw(t);
     }
     if (k == warmup_rounds) {
       for (std::size_t i = 0; i < last_col.size(); ++i)
@@ -121,6 +114,44 @@ TegSimResult simulate_teg(const TimedEventGraph& graph,
   result.in_order_throughput =
       min_row_rate * static_cast<double>(last_col.size());
   return result;
+}
+
+}  // namespace
+
+void TegSimOptions::validate() const {
+  SF_REQUIRE(rounds >= 10, "need at least 10 rounds");
+  SF_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+             "warmup fraction must be in [0, 1)");
+}
+
+TegSimResult simulate_teg(const TimedEventGraph& graph,
+                          const std::vector<DistributionPtr>& laws,
+                          Prng& prng, const TegSimOptions& options) {
+  SF_REQUIRE(laws.size() == graph.num_transitions(),
+             "need one law per transition");
+  options.validate();
+
+  if (options.sampling == SamplingMode::kScalarCompat) {
+    return run_rounds(graph, options,
+                      [&](std::size_t t) { return laws[t]->sample(prng); });
+  }
+
+  // Batched: transition t draws from the pure child substream split(t) of
+  // the stream's entry state. The parent is advanced exactly one draw so
+  // that back-to-back simulations on the same injected stream see fresh
+  // (decorrelated) substream families, as they did when draws were consumed
+  // inline.
+  const Prng root = prng;
+  (void)prng();
+  const std::size_t raw_block = pick_block_draws(
+      laws.size(), static_cast<std::size_t>(options.rounds));
+  std::vector<BatchSampler> samplers;
+  samplers.reserve(laws.size());
+  for (std::size_t t = 0; t < laws.size(); ++t)
+    samplers.emplace_back(laws[t], root.split(t), options.refill_isa,
+                          raw_block);
+  return run_rounds(graph, options,
+                    [&](std::size_t t) { return samplers[t].next(); });
 }
 
 TegSimResult simulate_teg(const TimedEventGraph& graph,

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dist/batch_sampler.hpp"
 #include "dist/distribution.hpp"
 #include "model/timing.hpp"
 #include "tpn/graph.hpp"
@@ -27,6 +28,18 @@ struct TegSimOptions {
   /// Seed for the seed-taking simulate_teg overload; ignored when a Prng is
   /// injected (the experiment engine derives substreams itself).
   std::uint64_t seed = 42;
+  /// kBatched (default): each transition draws from its own pure
+  /// split() substream of the injected stream's entry state, served through
+  /// a SIMD-refilled BatchSampler — deterministic for a given (graph, laws,
+  /// stream state) and independent of everything else. kScalarCompat keeps
+  /// the legacy discipline (all transitions draw from the injected stream
+  /// in program order). The two modes realize different (equally valid)
+  /// draw assignments, so their results differ numerically but agree
+  /// statistically.
+  SamplingMode sampling = SamplingMode::kBatched;
+  /// Refill kernel for the batched mode; kAuto picks the best the CPU
+  /// supports. Tests force scalar/SSE4/AVX2 to pin byte-equality per path.
+  simd::Isa refill_isa = simd::Isa::kAuto;
 
   /// Rejects out-of-range settings (rounds < 10, warmup_fraction outside
   /// [0, 1) — including NaN). Called by every simulate entry point.

@@ -46,6 +46,33 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStats, StudentTQuantiles) {
+  // Spot-check the 97.5% table against published values and the cutoff
+  // behavior: exact through df = 30, normal approximation beyond.
+  EXPECT_DOUBLE_EQ(RunningStats::t975_quantile(1), 12.706);
+  EXPECT_DOUBLE_EQ(RunningStats::t975_quantile(3), 3.182);
+  EXPECT_DOUBLE_EQ(RunningStats::t975_quantile(7), 2.365);
+  EXPECT_DOUBLE_EQ(RunningStats::t975_quantile(30), 2.042);
+  EXPECT_DOUBLE_EQ(RunningStats::t975_quantile(31), 1.96);
+  EXPECT_DOUBLE_EQ(RunningStats::t975_quantile(1000), 1.96);
+  EXPECT_TRUE(std::isinf(RunningStats::t975_quantile(0)));
+}
+
+TEST(RunningStats, CiHalfWidthUsesStudentT) {
+  // Two samples (df = 1): half-width = 12.706 * s / sqrt(2). The old normal
+  // constant would give an interval 6.5x too narrow here.
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  const double sd = s.stddev();  // sqrt(2)
+  EXPECT_NEAR(s.ci95_halfwidth(), 12.706 * sd / std::sqrt(2.0), 1e-12);
+
+  RunningStats one;
+  EXPECT_TRUE(std::isinf(one.ci95_halfwidth()));
+  one.add(4.2);
+  EXPECT_TRUE(std::isinf(one.ci95_halfwidth()));
+}
+
 TEST(RelativeDifference, Basics) {
   EXPECT_DOUBLE_EQ(relative_difference(1.0, 1.0), 0.0);
   EXPECT_NEAR(relative_difference(1.0, 1.1), 0.1 / 1.1, 1e-12);

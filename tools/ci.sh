@@ -32,8 +32,17 @@ for config in "${configs[@]}"; do
     echo "==> ${config}: bench smoke (search throughput)"
     "./${build_dir}/bench_search_throughput" --quick \
         --json "${build_dir}/BENCH_search_throughput.json"
-    echo "==> ${config}: bench summary artifact"
+    # The sampling bench is the guardrail for the SIMD refill layer: its
+    # SHAPE checks enforce byte-identity of the batched stream against the
+    # scalar engine and (when a vector kernel is compiled in and selected)
+    # the >= 3x replication-throughput win, so a regression in either fails
+    # CI here, not in a quarterly manual run.
+    echo "==> ${config}: bench smoke (sampling throughput)"
+    "./${build_dir}/bench_sampling_throughput" --quick \
+        --json "${build_dir}/BENCH_sampling_throughput.json"
+    echo "==> ${config}: bench summary artifacts"
     cat "${build_dir}/BENCH_search_throughput.json"
+    cat "${build_dir}/BENCH_sampling_throughput.json"
   fi
 done
 

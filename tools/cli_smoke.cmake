@@ -22,6 +22,18 @@ function(run_cli expect_rc out_var)
                         "(expected ${expect_rc})\nstdout:\n${out}\nstderr:\n${err}")
   endif()
   set(${out_var} "${out}" PARENT_SCOPE)
+  set(${out_var}_err "${err}" PARENT_SCOPE)
+endfunction()
+
+# Rejected numeric flag values must exit 2 AND name the offending flag on
+# stderr (not just dump the usage text — that is what the validation audit
+# fixed). `flag` doubles as the stderr pattern to expect.
+function(expect_flag_error flag)
+  run_cli(2 bad_out ${ARGN})
+  if(NOT bad_out_err MATCHES "error: ${flag}")
+    message(FATAL_ERROR "'streamflow_cli ${ARGN}' did not report a "
+                        "'error: ${flag} ...' diagnostic\nstderr:\n${bad_out_err}")
+  endif()
 endfunction()
 
 # --help must succeed and describe the subcommands.
@@ -54,6 +66,21 @@ endforeach()
 
 # A bad invocation must fail loudly.
 run_cli(2 ignored definitely-not-a-command)
+
+# Numeric-flag validation audit: zero where a positive count is required,
+# negative values fed to unsigned flags (no silent two's-complement wrap to
+# 2^64-1), non-integer tokens, and values too large for 64 bits all fail
+# with a diagnostic naming the flag. (--threads 0 stays VALID: all cores.)
+expect_flag_error(--data-sets simulate x.instance --data-sets 0)
+expect_flag_error(--data-sets simulate x.instance --data-sets -5)
+expect_flag_error(--replications simulate x.instance --replications 0)
+expect_flag_error(--seed simulate x.instance --seed -1)
+expect_flag_error(--seed simulate x.instance --seed 99999999999999999999999)
+expect_flag_error(--threads simulate x.instance --threads -2)
+expect_flag_error(--threads simulate x.instance --threads 1e6)
+expect_flag_error(--restarts search x.instance --restarts 0)
+expect_flag_error(--max-paths search x.instance --max-paths 0)
+expect_flag_error(--replications simulate x.instance --replications)
 
 # example -> analyze -> simulate -> export-tpn on a real instance.
 set(instance "${WORK_DIR}/example.instance")

@@ -135,6 +135,17 @@ bool parse_integer(const std::string& token, Int& out) {
   }
 }
 
+/// Report a bad flag value on stderr and fail the parse. The pre-audit
+/// behavior dumped the full usage text with no hint of WHICH flag was
+/// rejected — "--replications 0" and a typo'd path failed identically.
+bool flag_error(const std::string& flag, const char* value,
+                const char* requirement) {
+  std::cerr << "error: " << flag << " requires " << requirement;
+  if (value) std::cerr << " (got '" << value << "')";
+  std::cerr << "\n";
+  return false;
+}
+
 bool parse_args(int argc, char** argv, CliArgs& args) {
   if (argc < 2) return false;
   args.command = argv[1];
@@ -146,51 +157,52 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
     };
     if (a == "--model") {
       const char* v = next();
-      if (!v) return false;
-      const std::string value = v;
-      if (value == "overlap") {
-        args.model = ExecutionModel::kOverlap;
-      } else if (value == "strict") {
-        args.model = ExecutionModel::kStrict;
-      } else {
-        return false;
-      }
+      if (!v || (std::string(v) != "overlap" && std::string(v) != "strict"))
+        return flag_error(a, v, "'overlap' or 'strict'");
+      args.model = std::string(v) == "overlap" ? ExecutionModel::kOverlap
+                                               : ExecutionModel::kStrict;
     } else if (a == "--law") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return flag_error(a, v, "a distribution spec such as 'exp:1'");
       args.law = v;
     } else if (a == "--data-sets") {
       const char* v = next();
-      if (!v || !parse_integer(v, args.data_sets)) return false;
+      if (!v || !parse_integer(v, args.data_sets) || args.data_sets <= 0)
+        return flag_error(a, v, "a positive integer");
     } else if (a == "--seed") {
+      // Unsigned: "-1" is rejected here rather than wrapping to 2^64-1,
+      // which would silently seed a different (irreproducible-looking)
+      // stream than the user asked for.
       const char* v = next();
-      if (!v || !parse_integer(v, args.seed)) return false;
+      if (!v || !parse_integer(v, args.seed))
+        return flag_error(a, v, "a non-negative integer below 2^64");
     } else if (a == "--replications") {
       const char* v = next();
-      if (!v || !parse_integer(v, args.replications) ||
-          args.replications == 0) {
-        return false;
-      }
+      if (!v || !parse_integer(v, args.replications) || args.replications == 0)
+        return flag_error(a, v, "a positive integer");
     } else if (a == "--threads") {
+      // 0 is meaningful (all hardware cores); the pool clamps T to the
+      // number of work items, so large values are safe, not fork bombs.
       const char* v = next();
-      if (!v || !parse_integer(v, args.threads)) return false;
+      if (!v || !parse_integer(v, args.threads))
+        return flag_error(a, v, "a non-negative integer (0 = all cores)");
     } else if (a == "--objective") {
       const char* v = next();
-      if (!v) return false;
-      const std::string value = v;
-      if (value != "det" && value != "exp") return false;
-      args.objective = value;
+      if (!v || (std::string(v) != "det" && std::string(v) != "exp"))
+        return flag_error(a, v, "'det' or 'exp'");
+      args.objective = v;
     } else if (a == "--scenarios") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return flag_error(a, v, "a list-file path");
       args.scenarios_path = v;
     } else if (a == "--restarts") {
       const char* v = next();
-      if (!v || !parse_integer(v, args.restarts)) return false;
+      if (!v || !parse_integer(v, args.restarts) || args.restarts == 0)
+        return flag_error(a, v, "a positive integer");
     } else if (a == "--max-paths") {
       const char* v = next();
       if (!v || !parse_integer(v, args.max_paths) || args.max_paths <= 0)
-        return false;
+        return flag_error(a, v, "a positive integer");
     } else if (a == "--restart-streams") {
       args.restart_streams = true;
     } else if (a == "--scenario-streams") {
@@ -199,6 +211,7 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.instance_path = a;
       ++positional;
     } else {
+      std::cerr << "error: unknown or misplaced argument '" << a << "'\n";
       return false;
     }
   }
