@@ -1,0 +1,40 @@
+// Divergence minimization: greedy structural shrinking of a scenario while
+// a given differential check keeps failing.
+//
+// The shrink moves are purely structural and always produce a VALID
+// scenario (candidates whose Mapping construction fails are discarded):
+//   * drop the first or the last stage of the chain (with its team and its
+//     adjacent communication column);
+//   * remove the last member of a team with at least two members (shrinking
+//     one replication factor).
+// After every move the platform is compacted to the processors the
+// remaining teams actually use, so minimized fixtures read small instead of
+// carrying ghost processors.
+//
+// Minimization is deterministic: moves are tried in a fixed order and the
+// first move that preserves the divergence is taken, so the minimized
+// fixture is a pure function of (scenario, check, options, hooks).
+#pragma once
+
+#include <vector>
+
+#include "fuzz/diff_harness.hpp"
+
+namespace streamflow {
+
+/// All structural one-step shrinks of `scenario` that produce a valid
+/// scenario, in the deterministic order the minimizer tries them (stage
+/// drops first — they remove the most — then team shrinks, largest team
+/// first, lowest stage index on ties).
+std::vector<Scenario> shrink_candidates(const Scenario& scenario);
+
+/// Greedily shrinks `scenario` while `check` keeps failing; returns the
+/// smallest scenario reached (the input itself when no shrink preserves the
+/// divergence). `steps_out`, when non-null, receives the number of accepted
+/// shrink steps.
+Scenario minimize_divergence(const Scenario& scenario, CheckId check,
+                             const HarnessOptions& options,
+                             const HarnessHooks& hooks,
+                             std::size_t* steps_out = nullptr);
+
+}  // namespace streamflow

@@ -69,6 +69,19 @@ Mapping load_instance(std::istream& is) {
   std::vector<std::tuple<std::size_t, std::size_t, double>> links;
   std::map<std::size_t, std::vector<std::size_t>> teams;
 
+  // Every line must be consumed completely: a token the value parser cannot
+  // read ("works 1 2 x") is a corrupt file, not ignorable trailing noise —
+  // silently dropping it would truncate the list and shift the blame to the
+  // count checks below (or worse, pass them with wrong data).
+  auto expect_line_end = [&](std::istringstream& ss, const char* what) {
+    ss.clear();
+    std::string rest;
+    if (ss >> rest) {
+      fail(line_number, std::string("trailing token '") + rest + "' on " +
+                            what + " line");
+    }
+  };
+
   while (auto maybe = next_line()) {
     std::istringstream ss(*maybe);
     std::string keyword;
@@ -77,24 +90,30 @@ Mapping load_instance(std::istream& is) {
       std::size_t n = 0;
       if (!(ss >> n) || n == 0) fail(line_number, "bad stage count");
       num_stages = n;
+      expect_line_end(ss, "stages");
     } else if (keyword == "works") {
       double w;
       while (ss >> w) works.push_back(w);
+      expect_line_end(ss, "works");
     } else if (keyword == "files") {
       double d;
       while (ss >> d) files.push_back(d);
+      expect_line_end(ss, "files");
     } else if (keyword == "processors") {
       std::size_t m = 0;
       if (!(ss >> m) || m == 0) fail(line_number, "bad processor count");
       num_processors = m;
+      expect_line_end(ss, "processors");
     } else if (keyword == "speeds") {
       double s;
       while (ss >> s) speeds.push_back(s);
+      expect_line_end(ss, "speeds");
     } else if (keyword == "link") {
       std::size_t p, q;
       double b;
       if (!(ss >> p >> q >> b)) fail(line_number, "bad link line");
       links.emplace_back(p, q, b);
+      expect_line_end(ss, "link");
     } else if (keyword == "team") {
       std::size_t stage;
       if (!(ss >> stage)) fail(line_number, "bad team line");
@@ -102,6 +121,7 @@ Mapping load_instance(std::istream& is) {
       std::size_t p;
       while (ss >> p) members.push_back(p);
       if (members.empty()) fail(line_number, "empty team");
+      expect_line_end(ss, "team");
       if (!teams.emplace(stage, std::move(members)).second)
         fail(line_number, "duplicate team for stage " + std::to_string(stage));
     } else {

@@ -65,6 +65,63 @@ TEST(Serialization, DiagnosesMalformedInput) {
   EXPECT_THROW(instance_from_string(twisted), InvalidArgument);
 }
 
+// Round-trip fuzz over every corpus regime knob setting: emit -> parse ->
+// emit must be byte-stable (precision-17 doubles round-trip exactly), so a
+// serialized instance is a faithful replayable artifact, not a lossy
+// snapshot.
+TEST(Serialization, EmitParseEmitIsByteStableAcrossRegimes) {
+  std::vector<RandomInstanceOptions> regimes(4);
+  regimes[0].num_stages = 4;
+  regimes[0].num_processors = 9;
+  regimes[1].num_stages = 3;
+  regimes[1].num_processors = 8;
+  regimes[1].bandwidth_heterogeneity = 100.0;
+  regimes[2].num_stages = 5;
+  regimes[2].num_processors = 10;
+  regimes[2].zero_cost_fraction = 0.5;
+  regimes[2].degenerate_scale = 1e-4;
+  regimes[3].num_stages = 2;
+  regimes[3].num_processors = 11;
+  regimes[3].team_skew = 3.0;
+  Prng prng(2024);
+  for (const RandomInstanceOptions& options : regimes) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const Mapping original = random_instance(options, prng);
+      const std::string first = instance_to_string(original);
+      const std::string second =
+          instance_to_string(instance_from_string(first));
+      EXPECT_EQ(first, second);
+    }
+  }
+}
+
+// Trailing tokens the value parser cannot consume are corrupt input, not
+// ignorable noise: before the hardening, "works 1 2 x" silently parsed as
+// works = {1, 2} and dropped the rest.
+TEST(Serialization, RejectsTrailingGarbageOnEveryLine) {
+  const std::string good = instance_to_string(
+      testing::chain_mapping({1.0, 2.0}, {0.5}));
+  const auto corrupt = [&](const std::string& from, const std::string& to) {
+    std::string text = good;
+    const auto pos = text.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    text.replace(pos, from.size(), to);
+    EXPECT_THROW(instance_from_string(text), InvalidArgument) << to;
+  };
+  corrupt("stages 2", "stages 2 bogus");
+  corrupt("works 1 1", "works 1 1 x");
+  corrupt("files 1", "files 1 ,");
+  corrupt("processors 2", "processors 2 2");
+  corrupt("speeds 1 0.5", "speeds 1 0.5 fast");
+  corrupt("team 0 0", "team 0 0 x");
+  // A link line with a fourth numeric token is also corrupt.
+  std::string text = good;
+  const auto pos = text.find('\n', text.find("link"));
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, " 9");
+  EXPECT_THROW(instance_from_string(text), InvalidArgument);
+}
+
 TEST(Serialization, CountMismatchesAreCaught) {
   EXPECT_THROW(instance_from_string("streamflow-instance v1\n"
                                     "stages 2\n"

@@ -40,9 +40,16 @@ for config in "${configs[@]}"; do
     echo "==> ${config}: bench smoke (sampling throughput)"
     "./${build_dir}/bench_sampling_throughput" --quick \
         --json "${build_dir}/BENCH_sampling_throughput.json"
+    # The differential corpus slice already ran (and gated) as the
+    # fuzz_smoke CTest above; re-emit its machine-readable report as a
+    # build artifact next to the bench JSONs.
+    echo "==> ${config}: fuzz corpus report"
+    "./${build_dir}/streamflow_cli" fuzz --seed 1 --count 25 \
+        --json "${build_dir}/FUZZ_report.json"
     echo "==> ${config}: bench summary artifacts"
     cat "${build_dir}/BENCH_search_throughput.json"
     cat "${build_dir}/BENCH_sampling_throughput.json"
+    cat "${build_dir}/FUZZ_report.json"
   fi
 done
 

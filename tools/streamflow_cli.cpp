@@ -12,6 +12,11 @@
 //                      [--scenario-streams]                       # batch
 //   streamflow export-tpn <instance-file> [--model overlap|strict]  # DOT
 //   streamflow example > my.instance                                # template
+//   streamflow fuzz [--seed S] [--count N] [--replications R]
+//                    [--data-sets N] [--threads T]
+//                    [--sampling batched|scalar] [--json FILE] [--digest]
+//                    [--no-minimize] [--divergence-dir DIR]
+//                    [--emit-corpus DIR]
 //
 // Instance files use the format of model/serialization.hpp. Law specs follow
 // dist/distribution.hpp's parse_distribution ("exp:1", "gauss:10,2", ...).
@@ -47,6 +52,7 @@
 #include "core/heuristics.hpp"
 #include "engine/parallel_search.hpp"
 #include "engine/sim_replication.hpp"
+#include "fuzz/diff_harness.hpp"
 #include "model/serialization.hpp"
 #include "sim/pipeline_sim.hpp"
 #include "tpn/builder.hpp"
@@ -68,6 +74,11 @@ void print_usage(std::ostream& out) {
       << "             [--scenario-streams]\n"
       << "  streamflow export-tpn <instance> [--model overlap|strict]\n"
       << "  streamflow example\n"
+      << "  streamflow fuzz [--seed S] [--count N] [--replications R]\n"
+      << "             [--data-sets N] [--threads T]\n"
+      << "             [--sampling batched|scalar] [--json FILE] [--digest]\n"
+      << "             [--no-minimize] [--divergence-dir DIR]\n"
+      << "             [--emit-corpus DIR]\n"
       << "  streamflow help | --help\n"
       << "\n"
       << "simulate with --replications R > 1 runs R independent replications\n"
@@ -89,7 +100,21 @@ void print_usage(std::ostream& out) {
       << "relative to the list file) as a second parallel axis: rows are\n"
       << "dispatched across the workers and printed in file order;\n"
       << "--scenario-streams advances scenario j's seed stream j long\n"
-      << "jumps so identical scenarios explore different restarts.\n";
+      << "jumps so identical scenarios explore different restarts.\n"
+      << "\n"
+      << "fuzz draws a deterministic scenario corpus (scenario k is a pure\n"
+      << "function of --seed and k) spanning five structural regimes and\n"
+      << "every timing-law family, and differentially cross-checks four\n"
+      << "evaluators on each scenario: the exponential analyzer against the\n"
+      << "replicated simulation CI, Theorem 7's N.B.U.E. sandwich, the\n"
+      << "max-plus deterministic upper bound, and serial/parallel plus\n"
+      << "sampling-mode determinism. Each divergence is minimized and\n"
+      << "written to --divergence-dir as a replayable .scenario fixture;\n"
+      << "--json writes the full machine-readable report; --digest prints\n"
+      << "the status-only digest (bit-identical for every --threads AND\n"
+      << "--sampling value); --no-minimize skips shrinking; --emit-corpus\n"
+      << "writes the corpus itself as .scenario files and exits. Exit code\n"
+      << "is 1 when any check diverged, 0 otherwise.\n";
 }
 
 int usage() {
@@ -113,6 +138,18 @@ struct CliArgs {
   std::int64_t max_paths = 256;
   bool restart_streams = false;   // substream-per-restart seeding
   bool scenario_streams = false;  // independent stream family per scenario
+  // fuzz options (fuzz/diff_harness.hpp). The harness has its own
+  // replications/data-sets defaults, so remember whether the shared flags
+  // were given explicitly.
+  std::size_t count = 25;
+  bool replications_given = false;
+  bool data_sets_given = false;
+  std::string sampling = "batched";  // "batched" | "scalar"
+  std::string json_path;
+  std::string divergence_dir;
+  std::string emit_corpus_dir;
+  bool digest = false;
+  bool no_minimize = false;
 };
 
 /// Strict integer parse: the whole token must be consumed (rejects "1e6",
@@ -169,6 +206,7 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       const char* v = next();
       if (!v || !parse_integer(v, args.data_sets) || args.data_sets <= 0)
         return flag_error(a, v, "a positive integer");
+      args.data_sets_given = true;
     } else if (a == "--seed") {
       // Unsigned: "-1" is rejected here rather than wrapping to 2^64-1,
       // which would silently seed a different (irreproducible-looking)
@@ -180,6 +218,7 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       const char* v = next();
       if (!v || !parse_integer(v, args.replications) || args.replications == 0)
         return flag_error(a, v, "a positive integer");
+      args.replications_given = true;
     } else if (a == "--threads") {
       // 0 is meaningful (all hardware cores); the pool clamps T to the
       // number of work items, so large values are safe, not fork bombs.
@@ -207,6 +246,31 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.restart_streams = true;
     } else if (a == "--scenario-streams") {
       args.scenario_streams = true;
+    } else if (a == "--count") {
+      const char* v = next();
+      if (!v || !parse_integer(v, args.count) || args.count == 0)
+        return flag_error(a, v, "a positive integer");
+    } else if (a == "--sampling") {
+      const char* v = next();
+      if (!v || (std::string(v) != "batched" && std::string(v) != "scalar"))
+        return flag_error(a, v, "'batched' or 'scalar'");
+      args.sampling = v;
+    } else if (a == "--json") {
+      const char* v = next();
+      if (!v) return flag_error(a, v, "an output file path");
+      args.json_path = v;
+    } else if (a == "--divergence-dir") {
+      const char* v = next();
+      if (!v) return flag_error(a, v, "an output directory");
+      args.divergence_dir = v;
+    } else if (a == "--emit-corpus") {
+      const char* v = next();
+      if (!v) return flag_error(a, v, "an output directory");
+      args.emit_corpus_dir = v;
+    } else if (a == "--digest") {
+      args.digest = true;
+    } else if (a == "--no-minimize") {
+      args.no_minimize = true;
     } else if (!a.empty() && a[0] != '-' && positional == 0) {
       args.instance_path = a;
       ++positional;
@@ -444,6 +508,85 @@ int cmd_export_tpn(const CliArgs& args) {
   return 0;
 }
 
+int cmd_fuzz(const CliArgs& args) {
+  HarnessOptions options;
+  options.corpus.seed = args.seed;
+  options.count = args.count;
+  if (args.replications_given) options.replications = args.replications;
+  if (args.data_sets_given) options.data_sets = args.data_sets;
+  options.threads = args.threads;
+  options.sampling = args.sampling == "scalar" ? SamplingMode::kScalarCompat
+                                               : SamplingMode::kBatched;
+  options.minimize = !args.no_minimize;
+  options.validate();
+
+  if (!args.emit_corpus_dir.empty()) {
+    std::filesystem::create_directories(args.emit_corpus_dir);
+    for (std::size_t k = 0; k < options.count; ++k) {
+      const Scenario scenario = draw_scenario(options.corpus, k);
+      const std::filesystem::path path =
+          std::filesystem::path(args.emit_corpus_dir) /
+          ("s" + std::to_string(k) + ".scenario");
+      std::ofstream out(path);
+      if (!out) {
+        throw InvalidArgument("cannot write corpus file '" + path.string() +
+                              "'");
+      }
+      save_scenario(out, scenario);
+    }
+    std::cout << "wrote " << options.count << " scenarios to "
+              << args.emit_corpus_dir << "\n";
+    return 0;
+  }
+
+  const HarnessReport report = run_diff_harness(options);
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      throw InvalidArgument("cannot write report file '" + args.json_path +
+                            "'");
+    }
+    out << report.to_json();
+  }
+  if (!args.divergence_dir.empty() && !report.divergences.empty()) {
+    std::filesystem::create_directories(args.divergence_dir);
+    for (const DivergenceRecord& record : report.divergences) {
+      const std::filesystem::path path =
+          std::filesystem::path(args.divergence_dir) /
+          ("div_s" + std::to_string(record.scenario_id) + "_" +
+           to_string(record.check) + ".scenario");
+      std::ofstream out(path);
+      if (!out) {
+        throw InvalidArgument("cannot write divergence fixture '" +
+                              path.string() + "'");
+      }
+      out << record.fixture_text;
+    }
+  }
+
+  if (args.digest) {
+    // Status-only digest: bit-identical for every --threads and --sampling
+    // value (pinned by tools/fuzz_smoke.cmake).
+    std::cout << report.digest();
+  } else {
+    std::cout << report.digest() << "\n";
+    for (const DivergenceRecord& record : report.divergences) {
+      std::cout << "DIVERGENCE " << record.original_label << " check "
+                << to_string(record.check) << ": " << record.detail << "\n";
+      std::cout << "  minimized in " << record.shrink_steps << " step(s) to "
+                << record.minimized.mapping.num_stages() << " stage(s) on "
+                << record.minimized.mapping.num_processors()
+                << " processor(s)\n";
+      if (args.divergence_dir.empty()) {
+        std::cout << "  (pass --divergence-dir to write the replayable "
+                  << "fixture)\n";
+      }
+    }
+  }
+  return report.fails == 0 ? 0 : 1;
+}
+
 int cmd_example() {
   Application app({2.0, 6.0, 4.0, 1.0}, {1.0, 3.0, 1.0});
   Platform platform = Platform::fully_connected(
@@ -465,6 +608,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (args.command == "example") return cmd_example();
+    if (args.command == "fuzz") return cmd_fuzz(args);
     if (args.command == "search" &&
         (!args.instance_path.empty() || !args.scenarios_path.empty())) {
       return cmd_search(args);
