@@ -31,7 +31,20 @@
 // the host actually has 4 hardware threads (on smaller machines the sweep
 // still runs and the verdict degrades to SHAPE-INFO).
 //
+// Part 4 is the bound-screen pruning sweep plus the metaheuristic kind
+// portfolio. The pruning sweep runs the same serial search on the
+// large-platform instances under BoundPolicy::kNone / kMct / kMctMaxplus,
+// asserts the screened results bit-identical to the unscreened search
+// (scores, mappings, evaluation counts, and the probe-accounting identity),
+// and SHAPE-checks that on the largest platform the screens either prune
+// >= 50% of the move probes or deliver >= 2x probes/sec. The kind
+// portfolio runs greedy vs simulated-annealing vs tabu islands at a
+// comparable move budget, asserts each metaheuristic bit-identical across
+// 1/2/4/8 worker threads, and SHAPE-checks the islands never fall below
+// the greedy portfolio's score.
+//
 //   ./build/bench_search_throughput [--csv] [--quick] [--json PATH]
+#include <algorithm>
 #include <optional>
 #include <string>
 #include <thread>
@@ -425,6 +438,191 @@ int main(int argc, char** argv) {
         std::to_string(sweep_speedup_at4) + "x at 4 workers)");
   }
 
+  // ---- Part 4a: admissible bound-screen pruning sweep ----------------------
+  // The same serial search, unscreened vs screened: the screens must change
+  // nothing but the work done.
+  MappingSearchOptions prune_options = options;
+  prune_options.restarts = 1;
+  prune_options.seed = 7;
+
+  streamflow::Table prune_table({"processors", "policy", "seconds",
+                                 "probes/sec", "prune rate", "speedup"});
+  prune_table.set_precision(4);
+  JsonObject prune_json;
+  std::size_t prune_mismatches = 0;
+  std::size_t prune_accounting_errors = 0;
+  double largest_prune_rate = 0.0;
+  double largest_prune_speedup = 0.0;
+  for (const std::size_t m : platform_sizes) {
+    const streamflow::InstancePtr big = large_instance(m).instance();
+    std::optional<streamflow::MappingSearchResult> reference;
+    double reference_seconds = 0.0;
+    JsonObject size_json;
+    for (const streamflow::BoundPolicy policy :
+         {streamflow::BoundPolicy::kNone, streamflow::BoundPolicy::kMct,
+          streamflow::BoundPolicy::kMctMaxplus}) {
+      MappingSearchOptions screened = prune_options;
+      screened.bounds = policy;
+      Stopwatch watch;
+      const streamflow::MappingSearchResult result =
+          streamflow::optimize_mapping(big, screened);
+      const double seconds = watch.seconds();
+      const std::size_t pruned =
+          result.moves_pruned_mct + result.moves_pruned_maxplus;
+      const std::size_t probes = pruned + result.moves_solved;
+      const double prune_rate =
+          probes == 0 ? 0.0
+                      : static_cast<double>(pruned) / static_cast<double>(probes);
+      const char* policy_name =
+          policy == streamflow::BoundPolicy::kNone  ? "none"
+          : policy == streamflow::BoundPolicy::kMct ? "mct"
+                                                    : "mct+maxplus";
+      if (!reference) {
+        reference.emplace(result);
+        reference_seconds = seconds;
+      } else {
+        if (result.throughput != reference->throughput ||
+            result.evaluations != reference->evaluations ||
+            result.mapping.to_string() != reference->mapping.to_string()) {
+          ++prune_mismatches;
+        }
+        // Exact accounting: every probe the unscreened search solved is,
+        // under a screen, either solved or pruned — never lost.
+        if (probes != reference->moves_solved) ++prune_accounting_errors;
+      }
+      const double speedup = reference_seconds / seconds;
+      if (m == platform_sizes.back() &&
+          policy != streamflow::BoundPolicy::kNone) {
+        largest_prune_rate = std::max(largest_prune_rate, prune_rate);
+        largest_prune_speedup = std::max(largest_prune_speedup, speedup);
+      }
+      prune_table.add_row({static_cast<std::int64_t>(m),
+                           std::string(policy_name), seconds,
+                           static_cast<double>(probes) / seconds, prune_rate,
+                           speedup});
+      JsonObject row;
+      row.set("seconds", seconds)
+          .set("probes", probes)
+          .set("probes_per_sec", static_cast<double>(probes) / seconds)
+          .set("pruned_mct", result.moves_pruned_mct)
+          .set("pruned_maxplus", result.moves_pruned_maxplus)
+          .set("moves_solved", result.moves_solved)
+          .set("prune_rate", prune_rate)
+          .set("speedup", speedup)
+          .set("throughput", result.throughput);
+      size_json.set(policy_name, row);
+    }
+    prune_json.set("m" + std::to_string(m), size_json);
+  }
+  streamflow::bench::emit(
+      prune_table,
+      "bound-screened search vs unscreened (bit-identical results required)",
+      args);
+  std::cout << "\n";
+
+  // ---- Part 4b: metaheuristic kind portfolio -------------------------------
+  // greedy restarts vs SA/tabu islands at a comparable move budget, each
+  // kind bit-identical across worker-thread counts.
+  ParallelSearchOptions kind_portfolio;
+  kind_portfolio.search = options;
+  kind_portfolio.search.seed = 1234;
+  kind_portfolio.islands = 4;
+  kind_portfolio.sync_rounds = args.quick ? 4 : 8;
+
+  struct KindOutcome {
+    std::string name;
+    double throughput = 0.0;
+    std::size_t evaluations = 0;
+    std::size_t mismatches = 0;
+  };
+  std::vector<KindOutcome> kinds;
+  streamflow::Table kind_table(
+      {"kind", "throughput", "evaluations", "thread mismatches"});
+  kind_table.set_precision(6);
+  JsonObject kind_json;
+  for (const streamflow::RestartKind kind :
+       {streamflow::RestartKind::kGreedyLocal,
+        streamflow::RestartKind::kAnnealing, streamflow::RestartKind::kTabu}) {
+    ParallelSearchOptions run = kind_portfolio;
+    run.search.kind = kind;
+    // Budget parity across very different step costs: an SA step probes one
+    // move while a tabu step probes the whole neighborhood (~m moves), so
+    // the per-leg step counts are scaled to land all three kinds near the
+    // same probe budget (the evaluations column reports the actuals).
+    run.search.restarts = args.quick ? 4 : 8;
+    if (kind == streamflow::RestartKind::kAnnealing) {
+      run.search.moves_per_leg = 1024;
+    } else if (kind == streamflow::RestartKind::kTabu) {
+      run.search.moves_per_leg = 8;
+    }
+    KindOutcome outcome;
+    outcome.name = kind == streamflow::RestartKind::kGreedyLocal ? "greedy"
+                   : kind == streamflow::RestartKind::kAnnealing ? "anneal"
+                                                                 : "tabu";
+    std::optional<streamflow::ParallelSearchResult> reference;
+    for (const std::size_t t : thread_counts) {
+      run.threads = t;
+      streamflow::ParallelSearchResult result =
+          streamflow::parallel_optimize_mapping(base.instance(), run);
+      if (!reference) {
+        reference.emplace(std::move(result));
+      } else if (result.throughput != reference->throughput ||
+                 result.evaluations != reference->evaluations ||
+                 result.mapping.to_string() !=
+                     reference->mapping.to_string()) {
+        ++outcome.mismatches;
+      }
+    }
+    outcome.throughput = reference->throughput;
+    outcome.evaluations = reference->evaluations;
+    kind_table.add_row({outcome.name, outcome.throughput,
+                        static_cast<std::int64_t>(outcome.evaluations),
+                        static_cast<std::int64_t>(outcome.mismatches)});
+    JsonObject row;
+    row.set("throughput", outcome.throughput)
+        .set("evaluations", outcome.evaluations)
+        .set("thread_mismatches", outcome.mismatches);
+    kind_json.set(outcome.name, row);
+    kinds.push_back(std::move(outcome));
+  }
+  streamflow::bench::emit(
+      kind_table,
+      "search kinds at comparable move budgets (each kind bit-identical "
+      "across 1/2/4/8 threads)",
+      args);
+  std::cout << "\n";
+
+  const bool prune_identical =
+      prune_mismatches == 0 && prune_accounting_errors == 0;
+  const bool prune_effective =
+      largest_prune_rate >= 0.5 || largest_prune_speedup >= 2.0;
+  const bool kinds_identical = kinds[0].mismatches == 0 &&
+                               kinds[1].mismatches == 0 &&
+                               kinds[2].mismatches == 0;
+  const bool kinds_competitive = kinds[1].throughput >= kinds[0].throughput &&
+                                 kinds[2].throughput >= kinds[0].throughput;
+  streamflow::bench::shape_check(
+      prune_identical,
+      "bound-screened search bit-identical to unscreened with exact probe "
+      "accounting (" +
+          std::to_string(prune_mismatches) + " result mismatches, " +
+          std::to_string(prune_accounting_errors) + " accounting errors)");
+  streamflow::bench::shape_check(
+      prune_effective,
+      "screens prune >= 50% of move probes or deliver >= 2x probes/sec on "
+      "the largest platform (got " +
+          std::to_string(largest_prune_rate * 100.0) + "% pruned, " +
+          std::to_string(largest_prune_speedup) + "x)");
+  streamflow::bench::shape_check(
+      kinds_identical,
+      "each search kind bit-identical across 1/2/4/8 worker threads");
+  streamflow::bench::shape_check(
+      kinds_competitive,
+      "SA and tabu islands match or beat the greedy portfolio (greedy " +
+          std::to_string(kinds[0].throughput) + ", anneal " +
+          std::to_string(kinds[1].throughput) + ", tabu " +
+          std::to_string(kinds[2].throughput) + ")");
+
   JsonObject summary;
   JsonObject default_json;
   default_json.set("sweeps", sweeps)
@@ -441,15 +639,26 @@ int main(int argc, char** argv) {
   sweep_json.set("hardware_threads", static_cast<std::size_t>(hardware))
       .set("speedup_at_4_threads", sweep_speedup_at4)
       .set("speedup_asserted", sweep_hardware_ok);
+  JsonObject pruning_json;
+  pruning_json.set("sweep", prune_json)
+      .set("largest_prune_rate", largest_prune_rate)
+      .set("largest_speedup", largest_prune_speedup)
+      .set("identical", prune_identical)
+      .set("kinds", kind_json)
+      .set("kinds_identical", kinds_identical)
+      .set("kinds_competitive", kinds_competitive);
   summary.set("bench", "search_throughput")
       .set("quick", args.quick)
       .set("default_instance", default_json)
       .set("large_platform", large_json)
       .set("threads_sweep", sweep_json)
+      .set("search_pruning", pruning_json)
       .set("shape_ok", default_identical && default_speedup_ok &&
                            policy_identical && policy_speedup_ok &&
                            sweep_identical &&
-                           (!sweep_hardware_ok || sweep_speedup_ok));
+                           (!sweep_hardware_ok || sweep_speedup_ok) &&
+                           prune_identical && prune_effective &&
+                           kinds_identical && kinds_competitive);
   streamflow::bench::write_json(args, summary);
   return 0;
 }

@@ -13,9 +13,14 @@
 // neighbours are evaluated incrementally; the cache statistics printed at
 // the end show how much work the context absorbed.
 //
-// The last section fans a larger restart portfolio out over every core
-// (engine/parallel_search.hpp) and verifies the determinism contract live:
-// the parallel result is bit-identical to the serial search.
+// The last sections fan a larger restart portfolio out over every core
+// (engine/parallel_search.hpp) and verify the determinism contract live
+// (the parallel result is bit-identical to the serial search), re-run the
+// search under the admissible bound screens (BoundPolicy::kMct /
+// kMctMaxplus) to show the screens skip most exact solves without changing
+// a single bit of the result, and finish with the simulated-annealing and
+// tabu island portfolios — deterministic metaheuristics that never fall
+// below the greedy baseline.
 //
 // Build & run:  ./build/examples/mapping_search
 #include <iomanip>
@@ -128,6 +133,54 @@ int main() {
             << (identical ? "bit-identical (as promised)"
                           : "MISMATCH — determinism contract violated!")
             << "\n\n";
+
+  // ---- Bound screens: prune the move loop, change nothing ----------------
+  // The same serial search with the two-tier admissible screens armed. A
+  // cheap incremental rate bound (and, on escalation, the max-plus
+  // deterministic bound) filters moves that provably cannot beat the
+  // incumbent before the exact CTMC solve — the result must stay
+  // bit-identical, only the work changes.
+  MappingSearchOptions screened_options = serial_options;
+  screened_options.bounds = BoundPolicy::kMctMaxplus;
+  const auto screened = optimize_mapping(instance, screened_options);
+  const std::size_t pruned =
+      screened.moves_pruned_mct + screened.moves_pruned_maxplus;
+  const std::size_t probes = pruned + screened.moves_solved;
+  const bool screen_identical =
+      screened.throughput == serial.throughput &&
+      screened.evaluations == serial.evaluations &&
+      screened.mapping.to_string() == serial.mapping.to_string();
+  std::cout << "bound-screened search (mct + max-plus):\n";
+  std::cout << "  move probes  : " << probes << " (" << pruned << " pruned — "
+            << screened.moves_pruned_mct << " by the rate bound, "
+            << screened.moves_pruned_maxplus << " by max-plus; "
+            << screened.moves_solved << " solved exactly)\n";
+  std::cout << "  vs unscreened: "
+            << (screen_identical ? "bit-identical (screens are admissible)"
+                                 : "MISMATCH — inadmissible bound!")
+            << "\n\n";
+
+  // ---- Metaheuristic islands: SA and tabu, still deterministic -----------
+  // Island 0 is greedy-seeded, islands 1..I-1 start from PRNG substreams;
+  // incumbents are exchanged round-robin at serial sync points, so each
+  // portfolio is a pure function of (seed, options) for any thread count.
+  for (const RestartKind kind : {RestartKind::kAnnealing, RestartKind::kTabu}) {
+    ParallelSearchOptions islands = portfolio;
+    islands.search.kind = kind;
+    islands.islands = 4;
+    islands.sync_rounds = 6;
+    const ParallelSearchResult island_result =
+        parallel_optimize_mapping(instance, islands);
+    std::cout << (kind == RestartKind::kAnnealing ? "annealing" : "tabu")
+              << " islands (" << islands.islands << " islands x "
+              << islands.sync_rounds << " sync rounds):\n";
+    std::cout << "  best mapping : " << island_result.mapping.to_string()
+              << "\n";
+    std::cout << "  throughput   : " << island_result.throughput
+              << "  (greedy baseline " << island_result.greedy_throughput
+              << ", best island " << island_result.best_restart << ")\n";
+  }
+  std::cout << "\n";
 
   std::cout << "Takeaway: score mappings with the exponential objective when "
                "service times vary;\nthe deterministic objective can prefer "

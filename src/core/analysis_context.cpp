@@ -44,6 +44,7 @@ void AnalysisContext::clear() {
   base_mapping_.reset();
   base_assignment_.clear();
   base_columns_.clear();
+  base_stage_bounds_.clear();
   scratch_valid_ = false;
   scratch_mapping_.reset();
 }
@@ -256,6 +257,14 @@ double AnalysisContext::set_base(Mapping mapping,
     score = result.throughput;
   }
 
+  if (options.bounds != BoundPolicy::kNone) {
+    base_stage_bounds_.resize(mapping.num_stages());
+    for (std::size_t i = 0; i < mapping.num_stages(); ++i)
+      base_stage_bounds_[i] = mapping.stage_rate_bound(i);
+  } else {
+    base_stage_bounds_.clear();
+  }
+
   base_mapping_ = std::move(mapping);
   base_options_ = options;
   base_score_ = score;
@@ -265,8 +274,16 @@ double AnalysisContext::set_base(Mapping mapping,
 }
 
 std::optional<double> AnalysisContext::evaluate_move(const MappingMove& move) {
+  const MoveProbe probe =
+      probe_move(move, -std::numeric_limits<double>::infinity());
+  if (probe.outcome != MoveProbe::Outcome::kScored) return std::nullopt;
+  return probe.score;
+}
+
+AnalysisContext::MoveProbe AnalysisContext::probe_move(const MappingMove& move,
+                                                       double threshold) {
   SF_REQUIRE(base_mapping_.has_value(),
-             "evaluate_move requires a base mapping (call set_base first)");
+             "probe_move requires a base mapping (call set_base first)");
   scratch_valid_ = false;
 
   const Mapping& base = *base_mapping_;
@@ -298,7 +315,7 @@ std::optional<double> AnalysisContext::evaluate_move(const MappingMove& move) {
       scratch_teams_[scratch_assignment_[p]].push_back(p);
   }
   for (const auto& team : scratch_teams_) {
-    if (team.empty()) return std::nullopt;
+    if (team.empty()) return MoveProbe{};
   }
 
   std::optional<Mapping> candidate;
@@ -314,9 +331,52 @@ std::optional<double> AnalysisContext::evaluate_move(const MappingMove& move) {
     }
   } catch (const InvalidArgument&) {
     // e.g. a used link has no bandwidth on this platform
-    return std::nullopt;
+    return MoveProbe{};
   }
-  if (candidate->num_paths() > base_options_.max_paths) return std::nullopt;
+  if (candidate->num_paths() > base_options_.max_paths) return MoveProbe{};
+
+  if (base_options_.bounds != BoundPolicy::kNone) {
+    // Refresh the touched entries of the cached per-stage tier-1 bound on
+    // the candidate (S_i depends on teams i-1 and i only, so a move
+    // touching stage t invalidates S_t and S_{t+1}); this runs even for an
+    // unscreened threshold so a commit can adopt the refreshed vector.
+    scratch_stage_bounds_ = base_stage_bounds_;
+    for (const std::size_t t : {touched[0], touched[1]}) {
+      if (t == Mapping::kUnused) continue;
+      scratch_stage_bounds_[t] = candidate->stage_rate_bound(t);
+      if (t + 1 < n)
+        scratch_stage_bounds_[t + 1] = candidate->stage_rate_bound(t + 1);
+    }
+    const double slack = 1.0 + base_options_.bound_slack;
+    double tier1 = kInf;
+    for (const double s : scratch_stage_bounds_) tier1 = std::min(tier1, s);
+    if (tier1 * slack <= threshold) {
+      ++stats_.evaluations;
+      ++stats_.move_evaluations;
+      ++stats_.moves_pruned_mct;
+      debug_check_pruned(*candidate, threshold);
+      return MoveProbe{MoveProbe::Outcome::kPruned, 0.0, tier1};
+    }
+    if (base_options_.bounds == BoundPolicy::kMctMaxplus &&
+        base_options_.objective == MappingObjective::kExponential &&
+        threshold > 0.0) {
+      // Tier 2: the max-plus deterministic analysis (Theorem 7:
+      // rho_exp <= rho_det). Skipped for the deterministic objective,
+      // where it would BE the solve.
+      TpnBuildOptions build;
+      build.max_rows = base_options_.max_paths;
+      const double tier2 =
+          deterministic_throughput(*candidate, base_options_.model, build)
+              .throughput;
+      if (tier2 * slack <= threshold) {
+        ++stats_.evaluations;
+        ++stats_.move_evaluations;
+        ++stats_.moves_pruned_maxplus;
+        debug_check_pruned(*candidate, threshold);
+        return MoveProbe{MoveProbe::Outcome::kPruned, 0.0, tier2};
+      }
+    }
+  }
 
   double score;
   scratch_touched_.assign(n == 0 ? 0 : n - 1, 0);
@@ -349,6 +409,7 @@ std::optional<double> AnalysisContext::evaluate_move(const MappingMove& move) {
   }
   ++stats_.evaluations;
   ++stats_.move_evaluations;
+  ++stats_.moves_solved;
 
 #ifndef NDEBUG
   {
@@ -365,7 +426,25 @@ std::optional<double> AnalysisContext::evaluate_move(const MappingMove& move) {
   scratch_mapping_ = std::move(candidate);
   scratch_score_ = score;
   scratch_valid_ = true;
-  return score;
+  return MoveProbe{MoveProbe::Outcome::kScored, score, 0.0};
+}
+
+void AnalysisContext::debug_check_pruned(const Mapping& candidate,
+                                         double threshold) {
+#ifndef NDEBUG
+  // Re-solve a deterministic sample of pruned candidates and assert the
+  // exact property the bit-identical-trajectory contract needs: a pruned
+  // candidate's true score does not exceed the caller's threshold.
+  if ((stats_.moves_pruned_mct + stats_.moves_pruned_maxplus) % 7 != 1) return;
+  AnalysisContext fresh(options_);
+  const double reference = fresh.objective_uncounted(candidate, base_options_);
+  SF_ASSERT(reference <= threshold,
+            "bound screen pruned a candidate that beats the threshold "
+            "(inadmissible bound)");
+#else
+  (void)candidate;
+  (void)threshold;
+#endif
 }
 
 double AnalysisContext::commit_move(const MappingMove& move) {
@@ -374,6 +453,8 @@ double AnalysisContext::commit_move(const MappingMove& move) {
              "of the same move");
   base_mapping_ = std::move(scratch_mapping_);
   base_assignment_.swap(scratch_assignment_);
+  if (base_options_.bounds != BoundPolicy::kNone)
+    base_stage_bounds_.swap(scratch_stage_bounds_);
   if (base_options_.objective == MappingObjective::kExponential) {
     for (std::size_t c = 0; c < scratch_touched_.size(); ++c) {
       if (scratch_touched_[c]) base_columns_[c] = std::move(scratch_columns_[c]);

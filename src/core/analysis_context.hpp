@@ -59,12 +59,22 @@ struct AnalysisCacheStats {
   std::size_t pattern_hits = 0;    ///< CTMC solves answered from the cache
   std::size_t pattern_misses = 0;  ///< CTMC solves computed and stored
   std::size_t closed_form = 0;     ///< homogeneous Theorem 4 evaluations
-  /// Objective evaluations of feasible candidates (full + incremental).
+  /// Feasible candidates considered (full + incremental). A pruned probe
+  /// counts: the candidate WAS evaluated, just via its bound instead of the
+  /// exact solve, so this counter is bit-equal under any BoundPolicy.
   std::size_t evaluations = 0;
-  /// The subset of `evaluations` served by evaluate_move().
+  /// The subset of `evaluations` served by evaluate_move()/probe_move().
   std::size_t move_evaluations = 0;
   std::size_t columns_reused = 0;      ///< base columns reused by moves
   std::size_t columns_recomputed = 0;  ///< columns moves had to re-solve
+  /// Bound-screen accounting of probe_move(). Under ANY policy,
+  /// move_evaluations == moves_solved + moves_pruned_mct +
+  /// moves_pruned_maxplus; under BoundPolicy::kNone the pruned counters are
+  /// zero, so moves_solved alone equals move_evaluations (the
+  /// bit-identical-trajectory contract, asserted in tests).
+  std::size_t moves_pruned_mct = 0;      ///< skipped by the tier-1 screen
+  std::size_t moves_pruned_maxplus = 0;  ///< skipped by the tier-2 screen
+  std::size_t moves_solved = 0;          ///< feasible probes fully solved
 };
 
 /// One local-search move in assignment space, applied to the pinned base.
@@ -147,10 +157,45 @@ class AnalysisContext {
   const Mapping& base_mapping() const;
   double base_score() const;
 
+  /// Outcome of one probe_move() call.
+  struct MoveProbe {
+    enum class Outcome {
+      kInfeasible,  ///< empty team, unusable link, or lcm above max_paths
+      kPruned,      ///< a bound proved score <= threshold; no solve ran
+      kScored,      ///< survived the screens; `score` is the objective
+    };
+    Outcome outcome = Outcome::kInfeasible;
+    /// Objective of base (+) move (kScored only).
+    double score = 0.0;
+    /// The screening upper bound that decided a kPruned outcome.
+    double bound = 0.0;
+  };
+
+  /// Objective of base (+) move, screened by the base options' BoundPolicy:
+  /// before solving, cheap admissible upper bounds on the candidate's score
+  /// are compared against `threshold` — the score a candidate must STRICTLY
+  /// exceed to matter to the caller — and the solve is skipped (kPruned)
+  /// whenever bound * (1 + bound_slack) <= threshold proves the candidate
+  /// cannot exceed it. Tier 1 is the incremental per-stage cycle-time bound
+  /// (Mapping::stage_rate_bound; O(touched-teams) against a cached base
+  /// vector); tier 2, under BoundPolicy::kMctMaxplus with the exponential
+  /// objective, is the max-plus deterministic analysis (Theorem 7:
+  /// rho_exp <= rho_det). Pass -infinity to disable screening for this
+  /// probe regardless of policy. A pruned probe still counts as one
+  /// evaluation/move_evaluation (plus its pruned counter) — it is just
+  /// never solved — so the evaluation counters of a screened search are
+  /// bit-equal to the unscreened search's by construction. Debug builds
+  /// re-solve a deterministic sample of pruned
+  /// probes and assert score <= threshold, the exact property the
+  /// bit-identical-trajectory contract needs. Does not change the base;
+  /// only a kScored probe may be committed.
+  MoveProbe probe_move(const MappingMove& move, double threshold);
+
   /// Objective of base (+) move, or nullopt when the move is infeasible
   /// (empty team, unusable link, or lcm of replications above max_paths).
   /// Only the columns adjacent to a touched stage are re-solved; all other
-  /// columns reuse the base solves. Does not change the base.
+  /// columns reuse the base solves. Does not change the base. Equivalent
+  /// to probe_move(move, -infinity), which never prunes.
   std::optional<double> evaluate_move(const MappingMove& move);
 
   /// Re-bases onto base (+) move. Must immediately follow a feasible
@@ -210,6 +255,8 @@ class AnalysisContext {
                              const MappingSearchOptions& options);
   static void check_objective(const Mapping& mapping,
                               const MappingSearchOptions& options);
+  /// Debug-only sampled re-solve of a pruned candidate (no-op in Release).
+  void debug_check_pruned(const Mapping& candidate, double threshold);
 
   ExponentialOptions options_;
   CandidatePolicy candidate_policy_ = CandidatePolicy::kSharedDerive;
@@ -228,6 +275,11 @@ class AnalysisContext {
   std::vector<std::size_t> base_assignment_;  ///< stage per processor
   std::vector<SolvedColumn> base_columns_;    ///< exponential objective only
   double base_score_ = 0.0;
+  /// Per-stage tier-1 bounds S_i of the base (BoundPolicy != kNone only);
+  /// probes refresh the touched entries on the candidate and commit swaps
+  /// the refreshed vector in.
+  std::vector<double> base_stage_bounds_;
+  std::vector<double> scratch_stage_bounds_;
 
   // Pending candidate of the last feasible evaluate_move (commit adopts it).
   bool scratch_valid_ = false;

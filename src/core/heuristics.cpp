@@ -1,6 +1,7 @@
 #include "core/heuristics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <optional>
@@ -76,10 +77,20 @@ class SearchState {
   double current() const { return current_; }
   bool feasible() const { return has_base_; }
 
-  /// Objective of assignment (+) move; nullopt when infeasible. Counted as
-  /// one evaluation. Does not change the assignment.
-  std::optional<double> probe(const MappingMove& move) {
-    if (has_base_) return context_.evaluate_move(move);
+  /// Objective of assignment (+) move; nullopt when infeasible OR when the
+  /// context's bound screen proved the score cannot exceed `threshold`
+  /// (callers pass the score a candidate must strictly beat to be adopted,
+  /// so a pruned probe and a sub-threshold score lead to the same step —
+  /// the bit-identical-trajectory contract). A scored probe counts as one
+  /// evaluation; a pruned one does not. Does not change the assignment.
+  std::optional<double> probe(const MappingMove& move,
+                              double threshold = kNegInf) {
+    if (has_base_) {
+      const auto result = context_.probe_move(move, threshold);
+      if (result.outcome != AnalysisContext::MoveProbe::Outcome::kScored)
+        return std::nullopt;
+      return result.score;
+    }
     Assignment tentative = assignment_;
     apply_move(tentative, move);
     auto mapping = realize(instance_, tentative, options_.max_paths);
@@ -161,7 +172,12 @@ void greedy_place_extras(SearchState& state, const Application& application,
     double best = state.current();
     std::size_t best_stage = kUnassigned;
     for (std::size_t i = 0; i < n; ++i) {
-      candidate_scores[i] = state.probe(MappingMove::migrate(p, i));
+      // Screen against the running best — except when unused processors are
+      // forbidden: the least-bad fallback below needs every score, so that
+      // configuration probes unscreened.
+      const double threshold =
+          options.allow_unused_processors ? best : kNegInf;
+      candidate_scores[i] = state.probe(MappingMove::migrate(p, i), threshold);
       if (candidate_scores[i] && *candidate_scores[i] > best) {
         best = *candidate_scores[i];
         best_stage = i;
@@ -222,8 +238,11 @@ double local_search(SearchState& state, const MappingSearchOptions& options,
         const std::size_t target = i == n ? kUnassigned : i;
         if (target == original) continue;
         const MappingMove move = MappingMove::migrate(p, target);
-        const auto candidate = state.probe(move);
-        if (candidate && *candidate > state.current() * (1.0 + 1e-12)) {
+        // The adoption epsilon IS the screen threshold: a pruned probe and
+        // a score failing the comparison take the same branch.
+        const double threshold = state.current() * (1.0 + 1e-12);
+        const auto candidate = state.probe(move, threshold);
+        if (candidate && *candidate > threshold) {
           state.adopt_last(move, *candidate);
           improved = true;
           break;  // keep the move
@@ -235,8 +254,9 @@ double local_search(SearchState& state, const MappingSearchOptions& options,
       for (std::size_t q = p + 1; q < m; ++q) {
         if (state.assignment()[p] == state.assignment()[q]) continue;
         const MappingMove move = MappingMove::swap(p, q);
-        const auto candidate = state.probe(move);
-        if (candidate && *candidate > state.current() * (1.0 + 1e-12)) {
+        const double threshold = state.current() * (1.0 + 1e-12);
+        const auto candidate = state.probe(move, threshold);
+        if (candidate && *candidate > threshold) {
           state.adopt_last(move, *candidate);
           improved = true;
         }
@@ -245,6 +265,18 @@ double local_search(SearchState& state, const MappingSearchOptions& options,
     if (!improved) break;
   }
   return state.current();
+}
+
+/// The cache-independent counter deltas of one restart / leg.
+void fill_counter_deltas(RestartResult& result, const AnalysisCacheStats& before,
+                         const AnalysisCacheStats& after) {
+  result.evaluations = after.evaluations - before.evaluations;
+  result.pattern_requests = (after.pattern_hits - before.pattern_hits) +
+                            (after.pattern_misses - before.pattern_misses);
+  result.moves_pruned_mct = after.moves_pruned_mct - before.moves_pruned_mct;
+  result.moves_pruned_maxplus =
+      after.moves_pruned_maxplus - before.moves_pruned_maxplus;
+  result.moves_solved = after.moves_solved - before.moves_solved;
 }
 
 }  // namespace
@@ -288,10 +320,7 @@ RestartResult run_greedy_restart(const InstancePtr& instance,
   result.score = local_search(state, options, application.num_stages());
   result.feasible = state.feasible();
   result.assignment = state.assignment();
-  const AnalysisCacheStats& after = context.stats();
-  result.evaluations = after.evaluations - before.evaluations;
-  result.pattern_requests = (after.pattern_hits - before.pattern_hits) +
-                            (after.pattern_misses - before.pattern_misses);
+  fill_counter_deltas(result, before, context.stats());
   return result;
 }
 
@@ -316,10 +345,149 @@ RestartResult run_random_restart(const InstancePtr& instance,
       local_search(state, options, instance->application.num_stages());
   result.feasible = true;
   result.assignment = state.assignment();
-  const AnalysisCacheStats& after = context.stats();
-  result.evaluations = after.evaluations - before.evaluations;
-  result.pattern_requests = (after.pattern_hits - before.pattern_hits) +
-                            (after.pattern_misses - before.pattern_misses);
+  fill_counter_deltas(result, before, context.stats());
+  return result;
+}
+
+RestartResult run_island_leg(const InstancePtr& instance, IslandState& island,
+                             std::size_t round,
+                             const MappingSearchOptions& options, Prng& prng,
+                             AnalysisContext& context) {
+  SF_REQUIRE(options.kind != RestartKind::kGreedyLocal,
+             "run_island_leg serves the metaheuristic kinds; kGreedyLocal "
+             "restarts run through run_greedy_restart/run_random_restart");
+  validate_mapping_search(instance, options);
+  RestartResult result;
+  if (!island.feasible) return result;  // skipped; consumes no randomness
+  const AnalysisCacheStats before = context.stats();
+
+  const std::size_t n = instance->application.num_stages();
+  const std::size_t m = instance->platform.num_processors();
+  SearchState state(instance, options, context, island.current);
+  SF_ASSERT(state.feasible(), "island incumbent turned infeasible");
+  result.start_score = state.current();
+
+  // The (re-)scored incumbent itself may beat the island's best: the round
+  // exchange hands a neighbour's best over as `current` without touching
+  // `best`, and a random island's first leg starts with best still at
+  // -infinity.
+  auto note_best = [&]() {
+    if (state.current() > island.best_score) {
+      island.best_score = state.current();
+      island.best = state.assignment();
+    }
+  };
+  note_best();
+
+  if (options.kind == RestartKind::kAnnealing) {
+    const double temp = options.sa_initial_temp *
+                        std::pow(options.sa_cooling, static_cast<double>(round));
+    for (std::size_t step = 0; step < options.moves_per_leg; ++step) {
+      // Draw discipline: every step consumes exactly four variates BEFORE
+      // any feasibility or acceptance test, so the stream position is a
+      // pure function of the step count — never of probe outcomes.
+      const bool migrating = prng.uniform_index(2) == 0;
+      const std::size_t p = prng.uniform_index(m);
+      const std::size_t aux = prng.uniform_index(migrating ? n + 1 : m);
+      const double u = prng.uniform01();
+
+      MappingMove move;
+      if (migrating) {
+        const std::size_t target = aux == n ? kUnassigned : aux;
+        if (target == state.assignment()[p]) continue;  // no-op proposal
+        if (target == kUnassigned && !options.allow_unused_processors)
+          continue;
+        move = MappingMove::migrate(p, target);
+      } else {
+        if (aux == p || state.assignment()[p] == state.assignment()[aux])
+          continue;
+        move = MappingMove::swap(p, aux);
+      }
+      // Relative Metropolis rule: accept iff score > theta with
+      // theta = current * (1 + T * ln u). ln u <= 0, so improving moves
+      // always pass; worsening moves pass with probability
+      // exp(relative-loss / T). theta is also the admissible screen
+      // threshold — a pruned probe and a rejected score take the same
+      // branch.
+      const double theta = state.current() * (1.0 + temp * std::log(u));
+      const auto candidate = state.probe(move, theta);
+      if (candidate && *candidate > theta) {
+        state.adopt_last(move, *candidate);
+        note_best();
+      }
+    }
+  } else {
+    // Tabu search: take the best admissible neighbour each step (even when
+    // it is worse — that is the escape mechanism), forbidding moves that
+    // return a just-moved processor to the stage it left for `tabu_tenure`
+    // steps, unless the move would beat the island's best (aspiration).
+    // Consumes no randomness; the table is fresh each leg.
+    std::vector<std::size_t> tabu_until(m * (n + 1), 0);
+    const auto slot = [n](std::size_t p, std::size_t stage) {
+      return p * (n + 1) + (stage == kUnassigned ? n : stage);
+    };
+    for (std::size_t step = 1; step <= options.moves_per_leg; ++step) {
+      double best_score = kNegInf;
+      MappingMove best_move;
+      bool found = false;
+      const auto consider = [&](const MappingMove& move, bool tabu) {
+        // A non-tabu candidate must beat the running best neighbour; a tabu
+        // one must additionally beat the island best (aspiration) — so the
+        // larger of the two is its admissible screen threshold.
+        const double threshold =
+            tabu ? std::max(best_score, island.best_score) : best_score;
+        const auto candidate = state.probe(move, threshold);
+        if (!candidate) return;
+        if (tabu && !(*candidate > island.best_score)) return;
+        if (*candidate > best_score) {
+          best_score = *candidate;
+          best_move = move;
+          found = true;
+        }
+      };
+      for (std::size_t p = 0; p < m; ++p) {
+        const std::size_t from = state.assignment()[p];
+        const std::size_t targets =
+            n + (options.allow_unused_processors ? 1 : 0);
+        for (std::size_t i = 0; i < targets; ++i) {
+          const std::size_t target = i == n ? kUnassigned : i;
+          if (target == from) continue;
+          consider(MappingMove::migrate(p, target),
+                   tabu_until[slot(p, target)] >= step);
+        }
+      }
+      for (std::size_t p = 0; p < m; ++p) {
+        for (std::size_t q = p + 1; q < m; ++q) {
+          if (state.assignment()[p] == state.assignment()[q]) continue;
+          const bool tabu =
+              tabu_until[slot(p, state.assignment()[q])] >= step ||
+              tabu_until[slot(q, state.assignment()[p])] >= step;
+          consider(MappingMove::swap(p, q), tabu);
+        }
+      }
+      if (!found) break;  // every neighbour tabu and none aspiring
+      // Mark the reversing attributes before moving: each arm may not
+      // return to the stage it leaves until the tenure expires.
+      tabu_until[slot(best_move.p, state.assignment()[best_move.p])] =
+          step + options.tabu_tenure;
+      if (best_move.kind == MappingMove::Kind::kSwap) {
+        tabu_until[slot(best_move.q, state.assignment()[best_move.q])] =
+            step + options.tabu_tenure;
+      }
+      // Unscreened re-probe so the commit adopts the pending candidate.
+      const auto score = state.probe(best_move);
+      SF_ASSERT(score.has_value(), "chosen tabu step turned infeasible");
+      state.adopt_last(best_move, *score);
+      note_best();
+    }
+  }
+
+  island.current = state.assignment();
+  island.current_score = state.current();
+  result.feasible = true;
+  result.score = island.best_score;
+  result.assignment = island.best;
+  fill_counter_deltas(result, before, context.stats());
   return result;
 }
 
@@ -361,6 +529,10 @@ MappingSearchResult optimize_mapping(const Application& application,
 MappingSearchResult optimize_mapping(const InstancePtr& instance,
                                      const MappingSearchOptions& options,
                                      AnalysisContext& context) {
+  SF_REQUIRE(options.kind == RestartKind::kGreedyLocal,
+             "the serial optimize_mapping runs the greedy+local-search "
+             "portfolio only; kAnnealing/kTabu islands run through "
+             "parallel_optimize_mapping (engine/parallel_search.hpp)");
   validate_mapping_search(instance, options);
   const AnalysisCacheStats before = context.stats();
   Prng prng(options.seed);
@@ -385,7 +557,11 @@ MappingSearchResult optimize_mapping(const InstancePtr& instance,
                              greedy_score,
                              after.evaluations - before.evaluations,
                              after.pattern_hits - before.pattern_hits,
-                             after.pattern_misses - before.pattern_misses};
+                             after.pattern_misses - before.pattern_misses,
+                             after.moves_pruned_mct - before.moves_pruned_mct,
+                             after.moves_pruned_maxplus -
+                                 before.moves_pruned_maxplus,
+                             after.moves_solved - before.moves_solved};
 }
 
 }  // namespace streamflow

@@ -40,6 +40,44 @@ enum class MappingObjective {
   kExponential,
 };
 
+/// Admissible bound screens applied by AnalysisContext::probe_move before a
+/// candidate is solved. A screen may only skip candidates it can PROVE
+/// cannot beat the caller's adoption threshold, so the search trajectory —
+/// and therefore the final mapping and score — is bit-identical to the
+/// unscreened search under every policy (Debug builds re-solve a sample of
+/// pruned moves and assert; tests/test_heuristics.cpp and the fuzz
+/// harness's pruned-search check pin it).
+enum class BoundPolicy {
+  /// No screening: every feasible candidate is solved (the PR 5 behaviour,
+  /// and the default — the pinned evaluation counts depend on it).
+  kNone,
+  /// Tier 1 only: the O(touched-teams) incremental cycle-time bound built
+  /// from Mapping::cycle_time (min over stages of the per-team saturated
+  /// rate sum — see Mapping::stage_rate_bound).
+  kMct,
+  /// Tier 1, escalating to the max-plus deterministic analysis
+  /// (maxplus/deterministic, Theorem 7: rho_exp <= rho_det) when the cheap
+  /// bound is inconclusive. The escalation applies to the exponential
+  /// objective only — for the deterministic objective the max-plus analysis
+  /// IS the solve.
+  kMctMaxplus,
+};
+
+/// Which search runs inside one restart / island leg.
+enum class RestartKind {
+  /// Greedy construction + steepest first-improvement local search (the
+  /// PR 3–5 search; restart k >= 1 starts from a random assignment).
+  kGreedyLocal,
+  /// Simulated annealing over the migrate/swap neighbourhood, organized as
+  /// deterministic islands by engine/parallel_search (island k draws from
+  /// StreamFactory substream k; incumbents exchanged only at fixed
+  /// synchronization rounds).
+  kAnnealing,
+  /// Tabu search (best-neighbour steps with a recency tabu on the reversing
+  /// attribute, aspiration on the global best), same island organization.
+  kTabu,
+};
+
 struct MappingSearchOptions {
   ExecutionModel model = ExecutionModel::kOverlap;
   MappingObjective objective = MappingObjective::kExponential;
@@ -57,6 +95,35 @@ struct MappingSearchOptions {
   /// a replicated stage's paced throughput). If false, every processor is
   /// assigned somewhere.
   bool allow_unused_processors = true;
+
+  // ---- Bound screening (AnalysisContext::probe_move) -----------------------
+
+  /// Admissible screens applied before each candidate solve. Final mappings
+  /// and scores are bit-identical under every policy; only the number of
+  /// CTMC solves (and the evaluation counters) changes.
+  BoundPolicy bounds = BoundPolicy::kNone;
+  /// Relative slack applied to a bound before comparing it to the adoption
+  /// threshold: prune only when bound * (1 + bound_slack) <= threshold.
+  /// Absorbs FP rounding between the bound arithmetic and the solver;
+  /// mutation tests tighten it to prove the comparison bites.
+  double bound_slack = 1e-9;
+
+  // ---- Metaheuristic knobs (kAnnealing / kTabu islands) --------------------
+
+  /// Which search runs per restart / island leg. The serial
+  /// optimize_mapping supports kGreedyLocal only; kAnnealing/kTabu run as
+  /// deterministic islands through engine/parallel_search.
+  RestartKind kind = RestartKind::kGreedyLocal;
+  /// Moves proposed (annealing) or best-neighbour steps taken (tabu) per
+  /// island leg, i.e. between two synchronization points.
+  std::size_t moves_per_leg = 64;
+  /// Relative initial temperature of the annealing acceptance rule
+  /// (accept a candidate iff score > current * (1 + T_r * ln u),
+  /// u ~ U(0,1)); T_r = sa_initial_temp * sa_cooling^round.
+  double sa_initial_temp = 0.20;
+  double sa_cooling = 0.85;
+  /// Steps a reversing attribute (processor, origin stage) stays tabu.
+  std::size_t tabu_tenure = 8;
 };
 
 struct MappingSearchResult {
@@ -73,6 +140,16 @@ struct MappingSearchResult {
   /// Pattern CTMC solves actually computed (cache misses) during this
   /// search.
   std::size_t pattern_cache_misses = 0;
+  /// Move probes skipped by the tier-1 cycle-time screen (0 under
+  /// BoundPolicy::kNone). Pruned probes still count in `evaluations`, so
+  /// that counter is bit-equal to the unscreened search's;
+  /// moves_solved + moves_pruned_mct + moves_pruned_maxplus equals the
+  /// unscreened search's moves_solved (asserted in tests).
+  std::size_t moves_pruned_mct = 0;
+  /// Move probes skipped by the tier-2 max-plus screen.
+  std::size_t moves_pruned_maxplus = 0;
+  /// Move probes that survived the screens and paid the full solve.
+  std::size_t moves_solved = 0;
 };
 
 /// Runs the search. Requires num_processors >= num_stages.
@@ -141,6 +218,10 @@ struct RestartResult {
   /// Pattern solves requested by this restart: cache hits + misses. The
   /// hit/miss split depends on the warmth of the context, the sum does not.
   std::size_t pattern_requests = 0;
+  /// Bound-screen accounting for this restart (see MappingSearchResult).
+  std::size_t moves_pruned_mct = 0;
+  std::size_t moves_pruned_maxplus = 0;
+  std::size_t moves_solved = 0;
 };
 
 /// Validates (instance, options) exactly as optimize_mapping does; throws
@@ -177,5 +258,43 @@ RestartResult run_random_restart(const InstancePtr& instance,
 std::optional<Mapping> realize_assignment(const InstancePtr& instance,
                                           const StageAssignment& assignment,
                                           std::int64_t max_paths);
+
+// ---- Metaheuristic island legs (kAnnealing / kTabu) -------------------------
+//
+// engine/parallel_search organizes the SA/tabu kinds as deterministic
+// islands: island k owns one IslandState and one Prng (StreamFactory
+// substream k), runs one leg per synchronization round (legs of one round
+// may run concurrently on worker-private contexts — a leg reads only its
+// island, its prng, and the shared immutable instance), and exchanges
+// incumbents only between rounds, on one thread. The island trajectory is
+// therefore a pure function of (seed, options), independent of thread
+// count.
+
+/// Mutable state of one island between synchronization rounds.
+struct IslandState {
+  /// False until the island has a feasible incumbent (a random start may be
+  /// infeasible; such islands skip their legs — consuming no randomness —
+  /// until an exchange hands them one).
+  bool feasible = false;
+  StageAssignment current;  ///< incumbent the next leg starts from
+  double current_score = -std::numeric_limits<double>::infinity();
+  StageAssignment best;  ///< best assignment this island has held
+  double best_score = -std::numeric_limits<double>::infinity();
+};
+
+/// Runs one leg of `options.kind` (kAnnealing or kTabu) on `island`:
+/// options.moves_per_leg proposal steps (annealing, drawing from `prng`) or
+/// best-neighbour steps (tabu, consuming no randomness; the tabu list is
+/// fresh per leg), screened through AnalysisContext::probe_move under
+/// options.bounds. `round` scales the annealing temperature
+/// (sa_initial_temp * sa_cooling^round). Returns the leg's deltas:
+/// feasible/score/start_score reflect the island after/entering the leg,
+/// and the counters cover this leg only (cache-independent, like every
+/// RestartResult). An infeasible island returns immediately with
+/// feasible == false.
+RestartResult run_island_leg(const InstancePtr& instance, IslandState& island,
+                             std::size_t round,
+                             const MappingSearchOptions& options, Prng& prng,
+                             AnalysisContext& context);
 
 }  // namespace streamflow

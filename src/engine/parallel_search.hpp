@@ -71,6 +71,27 @@ struct ParallelSearchOptions {
   /// reuses `search.seed` exactly as the serial batch CLI always has.
   bool scenario_streams = false;
 
+  // ---- Metaheuristic island portfolio (search.kind != kGreedyLocal) -------
+  //
+  // SA/tabu runs organize as `islands` deterministic islands: island 0 is
+  // seeded by the full greedy restart (so the portfolio never falls below
+  // the greedy baseline) and island k >= 1 by a random start drawn from
+  // StreamFactory substream k. Each synchronization round runs one leg per
+  // island (legs of a round may run concurrently; a leg touches only its
+  // island, its private substream, and worker-private contexts), then — on
+  // one thread, in island order — island k adopts the best of island
+  // (k-1 mod islands) as its incumbent iff it strictly beats k's own best.
+  // After `sync_rounds` rounds the best island (strict improvement, lowest
+  // index on ties) gets a final local-search polish. Every cross-island
+  // interaction happens at the serial exchange points, so the whole run is
+  // a pure function of (seed, options) — thread-count independent like the
+  // greedy portfolio. Ignored for kGreedyLocal.
+
+  /// Island count of the metaheuristic portfolio (>= 1).
+  std::size_t islands = 4;
+  /// Synchronization rounds, i.e. legs per island (>= 1).
+  std::size_t sync_rounds = 8;
+
   /// `threads` with 0 resolved to the detected hardware concurrency.
   std::size_t resolved_threads() const;
 };
@@ -93,8 +114,15 @@ struct ParallelSearchResult {
   std::size_t evaluations = 0;
   /// Pattern solves requested (cache hits + misses) summed across restarts.
   std::size_t pattern_requests = 0;
+  /// Bound-screen accounting summed across restarts (see
+  /// MappingSearchResult; all zero under BoundPolicy::kNone).
+  std::size_t moves_pruned_mct = 0;
+  std::size_t moves_pruned_maxplus = 0;
+  std::size_t moves_solved = 0;
   /// Per-restart outcomes in restart order (the determinism witness: this
-  /// whole vector is bit-identical for any thread count).
+  /// whole vector is bit-identical for any thread count). For an island
+  /// portfolio: one row per island, accumulating that island's legs (plus
+  /// the greedy seeding for island 0 and the polish for the winner).
   std::vector<RestartResult> trace;
 };
 
@@ -114,6 +142,9 @@ ParallelSearchResult parallel_optimize_mapping(
 /// `options.scenario_streams`, scenario j's seed stream is advanced j long
 /// jumps first; otherwise all scenarios share `search.seed` (so identical
 /// instance files produce identical rows — the CLI batch contract).
+/// Requires search.kind == kGreedyLocal: the batch axis composes with the
+/// restart portfolio; island metaheuristics run per instance through
+/// parallel_optimize_mapping.
 std::vector<ParallelSearchResult> parallel_optimize_batch(
     const std::vector<InstancePtr>& instances,
     const ParallelSearchOptions& options);

@@ -16,7 +16,8 @@ namespace streamflow {
 namespace {
 
 constexpr const char* kCheckNames[kNumChecks] = {
-    "analyzer-ci", "nbue-sandwich", "maxplus-bound", "determinism"};
+    "analyzer-ci", "nbue-sandwich", "maxplus-bound", "determinism",
+    "pruned-search"};
 
 /// Formats a double with round-trip precision for diagnostics and JSON.
 std::string fmt(double value) {
@@ -368,6 +369,63 @@ ScenarioVerdict check_scenario(const Scenario& scenario,
       }
     }
 
+    if (failure.empty()) {
+      set_pass(check);
+    } else {
+      set_fail(check, failure);
+    }
+  }
+
+  // ---- Check 5: bound-screened search == unscreened search, bit for bit ---
+  if (selected(CheckId::kPrunedSearch)) {
+    CheckResult& check = verdict.checks[4];
+    MappingSearchOptions search;
+    search.model = model;
+    search.objective = model == ExecutionModel::kStrict
+                           ? MappingObjective::kDeterministic
+                           : MappingObjective::kExponential;
+    search.restarts = 2;
+    search.max_paths = options.corpus.max_paths;
+    search.seed = 1;
+    const InstancePtr searchable = completed_instance(mapping);
+    const MappingSearchResult reference = optimize_mapping(searchable, search);
+    std::string failure;
+    for (const BoundPolicy policy :
+         {BoundPolicy::kMct, BoundPolicy::kMctMaxplus}) {
+      MappingSearchOptions screened = search;
+      screened.bounds = policy;
+      const char* name = policy == BoundPolicy::kMct ? "mct" : "mct+maxplus";
+      if (hooks.pruned_search_score) {
+        const double score = hooks.pruned_search_score(searchable, screened);
+        if (score != reference.throughput) {
+          failure = std::string("screened search (") + name + ") score " +
+                    fmt(score) + " != unscreened score " +
+                    fmt(reference.throughput);
+          break;
+        }
+        continue;
+      }
+      const MappingSearchResult pruned = optimize_mapping(searchable, screened);
+      if (pruned.throughput != reference.throughput ||
+          pruned.evaluations != reference.evaluations ||
+          pruned.mapping.to_string() != reference.mapping.to_string()) {
+        failure = std::string("screened search (") + name + ") score " +
+                  fmt(pruned.throughput) + " / " +
+                  std::to_string(pruned.evaluations) +
+                  " evaluations != unscreened " + fmt(reference.throughput) +
+                  " / " + std::to_string(reference.evaluations);
+        break;
+      }
+      const std::size_t probes = pruned.moves_solved + pruned.moves_pruned_mct +
+                                 pruned.moves_pruned_maxplus;
+      if (probes != reference.moves_solved) {
+        failure = std::string("screened search (") + name +
+                  ") accounting: solved+pruned = " + std::to_string(probes) +
+                  " != unscreened solved " +
+                  std::to_string(reference.moves_solved);
+        break;
+      }
+    }
     if (failure.empty()) {
       set_pass(check);
     } else {

@@ -1,4 +1,4 @@
-// Differential cross-check harness: four independent evaluators of the
+// Differential cross-check harness: five independent evaluators of the
 // same quantity, checked against each other over the whole scenario corpus.
 //
 // For every Scenario the harness cross-checks:
@@ -16,7 +16,13 @@
 //   kDeterminism   — serial optimize_mapping equals the parallel portfolio
 //                    bit-for-bit, and the replicated simulator is
 //                    bit-identical across thread counts in BOTH sampling
-//                    modes (batched and scalar-compat).
+//                    modes (batched and scalar-compat);
+//   kPrunedSearch  — the bound-screened search (BoundPolicy::kMct and
+//                    kMctMaxplus) returns the same mapping, score, and
+//                    evaluation count as the unscreened search, bit for bit
+//                    — screens may only skip candidates that provably lose
+//                    — and the prune accounting is exact: screened
+//                    moves_solved + pruned equals unscreened moves_solved.
 //
 // Every analytic quantity flows through a HarnessHooks slot so tests can
 // inject an off-by-epsilon evaluator shim and prove each check can actually
@@ -54,9 +60,10 @@ enum class CheckId {
   kNbueSandwich = 1,
   kMaxplusBound = 2,
   kDeterminism = 3,
+  kPrunedSearch = 4,
 };
 
-constexpr std::size_t kNumChecks = 4;
+constexpr std::size_t kNumChecks = 5;
 
 std::string to_string(CheckId check);
 
@@ -92,6 +99,13 @@ struct HarnessHooks {
   /// determinism check searches (unset links go infeasible otherwise).
   std::function<double(const InstancePtr&, const MappingSearchOptions&)>
       serial_search_score;
+  /// Bound-screened search score the unscreened search is compared against
+  /// (default: optimize_mapping(instance, options).throughput with
+  /// options.bounds already set to the screened policy under test). The
+  /// mutation test skews this by one ulp to prove the bit-equality check
+  /// catches an off-by-one-ulp bound comparison.
+  std::function<double(const InstancePtr&, const MappingSearchOptions&)>
+      pruned_search_score;
 };
 
 struct HarnessOptions {
@@ -180,7 +194,7 @@ struct HarnessReport {
 ScenarioVerdict check_scenario(const Scenario& scenario,
                                const HarnessOptions& options,
                                const HarnessHooks& hooks = {},
-                               unsigned check_mask = 0xF);
+                               unsigned check_mask = 0x1F);
 
 /// True when `check` fails on `scenario` — the minimizer's oracle (runs
 /// only that check).

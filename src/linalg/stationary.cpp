@@ -35,7 +35,8 @@ Vector stationary_dense(const DenseMatrix& q) {
 }
 
 Vector stationary_uniformized(const CsrMatrix& q_offdiag,
-                              const StationaryOptions& options) {
+                              const StationaryOptions& options,
+                              StationarySolveStats* stats) {
   SF_REQUIRE(q_offdiag.rows() == q_offdiag.cols(), "generator must be square");
   const std::size_t n = q_offdiag.rows();
   SF_REQUIRE(n > 0, "generator must be non-empty");
@@ -74,7 +75,13 @@ Vector stationary_uniformized(const CsrMatrix& q_offdiag,
     // Renormalize to counter drift.
     for (std::size_t j = 0; j < n; ++j) next[j] /= sum;
     pi.swap(next);
-    if (diff < options.tolerance) return pi;
+    if (diff < options.tolerance) {
+      if (stats != nullptr) {
+        stats->iterations = iter + 1;
+        stats->residual = diff;
+      }
+      return pi;
+    }
   }
   throw NumericalError("stationary_uniformized did not converge within " +
                        std::to_string(options.max_iterations) + " iterations");

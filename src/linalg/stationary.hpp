@@ -22,6 +22,16 @@ struct StationaryOptions {
   std::size_t max_iterations = 2'000'000;
 };
 
+/// Convergence telemetry of one power-iteration solve, reported through the
+/// optional out-param of stationary_uniformized so callers (markov/
+/// throughput) can surface which back-end ran and how hard it worked.
+struct StationarySolveStats {
+  /// Power sweeps performed before the L1 change dropped under tolerance.
+  std::size_t iterations = 0;
+  /// The converged sweep's L1 change ||pi_k - pi_{k-1}||_1 (< tolerance).
+  double residual = 0.0;
+};
+
 /// Direct solve for the stationary distribution of generator Q (dense).
 /// Q must be a proper generator: non-negative off-diagonals, zero row sums.
 /// Assumes a single recurrent class (true for our reachability CTMCs, which
@@ -31,9 +41,11 @@ Vector stationary_dense(const DenseMatrix& q);
 /// Power-iteration solve on the uniformized chain P = I + Q / Lambda with
 /// Lambda slightly above the largest exit rate. `q` holds the OFF-diagonal
 /// rates as a CSR matrix (rows = source states); diagonals are derived.
-/// Throws NumericalError if the iteration does not converge.
+/// Throws NumericalError if the iteration does not converge. A non-null
+/// `stats` receives the iteration count and final L1 change on success.
 Vector stationary_uniformized(const CsrMatrix& q_offdiag,
-                              const StationaryOptions& options = {});
+                              const StationaryOptions& options = {},
+                              StationarySolveStats* stats = nullptr);
 
 /// Residual || pi Q ||_1 for verification (dense Q).
 double stationary_residual(const DenseMatrix& q, const Vector& pi);

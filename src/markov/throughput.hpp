@@ -19,12 +19,28 @@ struct GeneralMethodOptions {
   StationaryOptions stationary;
 };
 
+/// Which stationary solver actually ran for a chain (the dense_threshold
+/// decision, surfaced for observability and the crossover tests).
+enum class StationaryBackend {
+  kDense,        ///< direct dense LU on the full generator
+  kUniformized,  ///< sparse uniformization + power iteration
+};
+
 struct GeneralMethodResult {
   /// Sum of the stationary firing frequencies of the counted transitions.
   double throughput = 0.0;
   std::size_t num_states = 0;
   /// See TpnMarkovChain::capacity_clipped.
   bool capacity_clipped = false;
+  /// The back-end the stationary solve dispatched to (num_states vs
+  /// dense_threshold).
+  StationaryBackend backend = StationaryBackend::kDense;
+  /// Power sweeps of the uniformized solve; 0 for the direct dense solve.
+  std::size_t solver_iterations = 0;
+  /// Solve-quality telemetry. Dense: the verification residual
+  /// || pi Q ||_1. Uniformized: the converged sweep's L1 change (strictly
+  /// under StationaryOptions::tolerance).
+  double solver_residual = 0.0;
 };
 
 /// Exponential firing rates 1/duration for every transition of the graph.

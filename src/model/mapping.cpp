@@ -226,6 +226,20 @@ double Mapping::max_cycle_time(ExecutionModel model,
   return mct;
 }
 
+double Mapping::stage_rate_bound(std::size_t stage) const {
+  SF_REQUIRE(stage < teams_.size(), "stage index out of range");
+  const double r = static_cast<double>(teams_[stage].size());
+  double sum = 0.0;
+  for (std::size_t q : teams_[stage]) {
+    const CycleTime ct = cycle_time(q);
+    // C_comp already carries the 1/R_i factor; C_in is per global data set
+    // and q touches one in R_i, so its per-item port busy time is R_i*C_in.
+    const double busy = std::max(ct.compute * r, r * ct.input);
+    sum += 1.0 / busy;  // busy == 0 => +inf contribution (no constraint)
+  }
+  return sum;
+}
+
 double Mapping::critical_resource_throughput(ExecutionModel model) const {
   const double mct = max_cycle_time(model);
   SF_ASSERT(mct > 0.0, "degenerate mapping with zero cycle time");

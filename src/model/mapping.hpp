@@ -166,6 +166,23 @@ class Mapping {
   /// 1 / Mct: an upper bound on the throughput ("critical resource" rate).
   double critical_resource_throughput(ExecutionModel model) const;
 
+  /// S_i = sum over q in Team_i of 1 / max(C_comp(q), R_i * C_in(q)): an
+  /// admissible upper bound on the SUMMED stage-i completion rate, and
+  /// therefore (by flow conservation along the pipeline: each column's
+  /// receivers cannot jointly complete faster than its senders) on the
+  /// system throughput for BOTH objectives. Per processor q: its compute
+  /// unit is busy C_comp(q) per item, so its completion rate is at most
+  /// 1/C_comp(q); its input port is busy R_i * C_in(q) per item it
+  /// processes (C_in is the per-global-data-set average, and q serves one
+  /// global data set in R_i), so utilization caps the rate at
+  /// 1/(R_i * C_in(q)). C_out is deliberately excluded: the column method
+  /// does not cap a sender's computed rate by its own output port, and the
+  /// screen must upper-bound the computed score, not just the true system.
+  /// min_i stage_rate_bound(i) is the tier-1 screen of
+  /// AnalysisContext::probe_move; S_i depends only on teams i-1 and i, so a
+  /// move refreshes O(touched-teams) entries of a cached per-stage vector.
+  double stage_rate_bound(std::size_t stage) const;
+
   std::string to_string() const;
 
  private:

@@ -1,5 +1,5 @@
 // Mutation-style negative tests for the differential harness
-// (fuzz/diff_harness.hpp): each of the four cross-checks must actually FAIL
+// (fuzz/diff_harness.hpp): each of the five cross-checks must actually FAIL
 // when its evaluator is skewed through a HarnessHooks shim — the guard
 // against a vacuously green harness — and every divergence must be reported
 // and minimized into a replayable fixture. Also pins the library-level
@@ -127,6 +127,25 @@ TEST(FuzzHarness, DeterminismCheckDetectsOneUlpDrift) {
   EXPECT_TRUE(
       check_fails(scenario, CheckId::kDeterminism, options, hooks));
   EXPECT_FALSE(check_fails(scenario, CheckId::kDeterminism, options, {}));
+}
+
+// ---- Invariant 5: bound-screened search == unscreened, bit for bit ---------
+
+TEST(FuzzHarness, PrunedSearchCheckDetectsOneUlpBoundSkew) {
+  const HarnessOptions options = fast_options();
+  const Scenario scenario = draw_scenario(options.corpus, 0);
+  HarnessHooks hooks;
+  // The literal off-by-one-ulp fault a sloppy bound comparison produces:
+  // the screened search's score drifts one ulp above the true score (as it
+  // would if a screen pruned the winning move on a boundary tie).
+  hooks.pruned_search_score = [](const InstancePtr& instance,
+                                 const MappingSearchOptions& search) {
+    const double score = optimize_mapping(instance, search).throughput;
+    return std::nextafter(score, 2.0 * score + 1.0);
+  };
+  EXPECT_TRUE(check_fails(scenario, CheckId::kPrunedSearch, options, hooks));
+  // The real screened searches are bit-identical on the same scenario.
+  EXPECT_FALSE(check_fails(scenario, CheckId::kPrunedSearch, options, {}));
 }
 
 // ---- Divergence reporting and minimization ---------------------------------

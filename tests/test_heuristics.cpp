@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/prng.hpp"
 #include "common/stats.hpp"
 #include "core/analysis_context.hpp"
@@ -309,6 +311,133 @@ TEST(Heuristics, ReportsCacheStatsPerObjective) {
   EXPECT_EQ(det.pattern_cache_hits, 0u);
   EXPECT_EQ(det.pattern_cache_misses, 0u);
   EXPECT_GT(det.evaluations, 0u);
+}
+
+// ---- Bound screens (BoundPolicy) -------------------------------------------
+
+TEST(Heuristics, StageRateBoundIsAdmissibleOnRandomInstances) {
+  // The tier-1 screen's bound — min over stages of stage_rate_bound — must
+  // dominate BOTH search objectives on arbitrary instances; otherwise a
+  // screen could prune a winning move.
+  RandomInstanceOptions random;
+  random.num_stages = 3;
+  random.num_processors = 6;
+  random.max_paths = 64;
+  Prng prng(2025);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Mapping mapping = random_instance(random, prng);
+    double bound = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < mapping.num_stages(); ++i) {
+      bound = std::min(bound, mapping.stage_rate_bound(i));
+    }
+    const double rho_exp =
+        exponential_throughput(mapping, ExecutionModel::kOverlap).throughput;
+    const double rho_det =
+        deterministic_throughput(mapping, ExecutionModel::kOverlap).throughput;
+    EXPECT_GE(bound * (1.0 + 1e-9), rho_exp) << mapping.to_string();
+    EXPECT_GE(bound * (1.0 + 1e-9), rho_det) << mapping.to_string();
+  }
+}
+
+TEST(Heuristics, BoundScreenNeverPrunesAnImprovingMove) {
+  // Exhaustive probe-level admissibility: for every feasible move of a
+  // random base, take the exact score from an unscreened probe, then
+  // re-probe with a threshold just below that score. An admissible screen
+  // must come back kScored — bit-identically — never kPruned.
+  RandomInstanceOptions random;
+  random.num_stages = 3;
+  random.num_processors = 6;
+  random.max_paths = 64;
+  Prng prng(77);
+  for (const BoundPolicy policy :
+       {BoundPolicy::kMct, BoundPolicy::kMctMaxplus}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      // set_base requires the search normal form (teams in increasing
+      // processor order); the random generator makes no such promise.
+      const Mapping raw = random_instance(random, prng);
+      std::vector<std::vector<std::size_t>> teams;
+      for (std::size_t i = 0; i < raw.num_stages(); ++i) {
+        teams.push_back(raw.team(i));
+        std::sort(teams.back().begin(), teams.back().end());
+      }
+      const Mapping base(raw.instance(), std::move(teams));
+      MappingSearchOptions options;
+      options.objective = MappingObjective::kExponential;
+      options.bounds = policy;
+      options.max_paths = random.max_paths;
+      AnalysisContext context;
+      context.set_base(base, options);
+      const std::size_t n = base.num_stages();
+      std::vector<MappingMove> moves;
+      for (std::size_t p = 0; p < base.num_processors(); ++p) {
+        for (std::size_t i = 0; i <= n; ++i) {
+          const std::size_t target = i == n ? Mapping::kUnused : i;
+          if (target == base.stage_of(p)) continue;
+          moves.push_back(MappingMove::migrate(p, target));
+        }
+        for (std::size_t q = p + 1; q < base.num_processors(); ++q) {
+          if (base.stage_of(p) == base.stage_of(q)) continue;
+          moves.push_back(MappingMove::swap(p, q));
+        }
+      }
+      for (const MappingMove& move : moves) {
+        const AnalysisContext::MoveProbe free = context.probe_move(
+            move, -std::numeric_limits<double>::infinity());
+        if (free.outcome != AnalysisContext::MoveProbe::Outcome::kScored)
+          continue;
+        const AnalysisContext::MoveProbe tight =
+            context.probe_move(move, free.score * (1.0 - 1e-6));
+        EXPECT_EQ(tight.outcome,
+                  AnalysisContext::MoveProbe::Outcome::kScored)
+            << base.to_string() << " score " << free.score;
+        EXPECT_EQ(tight.score, free.score);
+      }
+    }
+  }
+}
+
+TEST(Heuristics, ScreenedSearchIsBitIdenticalWithExactAccounting) {
+  // Whole-search invariant on the pinned instance: both screens return the
+  // PR 5 pinned values bit-for-bit, and the probe accounting is exact —
+  // every probe the unscreened search solved is either solved or pruned
+  // under a screen, never lost.
+  Application app({2.0, 8.0, 3.0}, {1.0, 1.0});
+  Platform platform = Platform::fully_connected(
+      {1.0, 1.5, 2.0, 0.8, 1.2, 2.5, 0.9}, 4.0);
+  Prng prng(3);
+  for (std::size_t p = 0; p < 7; ++p) {
+    for (std::size_t q = p + 1; q < 7; ++q) {
+      platform.set_bandwidth(p, q, 2.0 + 3.0 * prng.uniform01());
+    }
+  }
+  MappingSearchOptions options;
+  options.restarts = 3;
+  options.seed = 42;
+  for (const MappingObjective objective :
+       {MappingObjective::kExponential, MappingObjective::kDeterministic}) {
+    options.objective = objective;
+    options.bounds = BoundPolicy::kNone;
+    const auto reference = optimize_mapping(app, platform, options);
+    EXPECT_EQ(reference.throughput, 0.65000000000000002);
+    EXPECT_EQ(reference.moves_pruned_mct, 0u);
+    EXPECT_EQ(reference.moves_pruned_maxplus, 0u);
+    EXPECT_GT(reference.moves_solved, 0u);
+    for (const BoundPolicy policy :
+         {BoundPolicy::kMct, BoundPolicy::kMctMaxplus}) {
+      options.bounds = policy;
+      const auto screened = optimize_mapping(app, platform, options);
+      expect_same_result(reference, screened);
+      EXPECT_EQ(screened.mapping.to_string(), reference.mapping.to_string());
+      EXPECT_EQ(screened.moves_solved + screened.moves_pruned_mct +
+                    screened.moves_pruned_maxplus,
+                reference.moves_solved)
+          << "accounting identity broken under a screen";
+      // The tier-2 escalation only arms for the exponential objective.
+      if (objective == MappingObjective::kDeterministic) {
+        EXPECT_EQ(screened.moves_pruned_maxplus, 0u);
+      }
+    }
+  }
 }
 
 TEST(Heuristics, RespectsMaxPathsConstraint) {

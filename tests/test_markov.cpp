@@ -112,6 +112,47 @@ TEST(GeneralMethod, TandemTwoServersIsSaturationMin) {
   EXPECT_NEAR(previous, 0.5, 0.02);  // converging to min(1, 1/2)
 }
 
+TEST(GeneralMethod, StationaryBackendCrossoverAtDenseThreshold) {
+  // The default crossover is pinned: chains up to 1200 states solve dense.
+  GeneralMethodOptions defaults;
+  EXPECT_EQ(defaults.dense_threshold, 1200u);
+
+  const Mapping mapping = testing::chain_mapping({1.0, 2.0}, {1e-3});
+  const TimedEventGraph g = build_tpn(mapping, ExecutionModel::kOverlap);
+  const auto rates = rates_from_durations(g);
+  GeneralMethodOptions dense;
+  dense.reachability.place_capacity = 4;
+  const auto a = exponential_throughput_general(
+      g, rates, g.last_column_transitions(), dense);
+  ASSERT_GT(a.num_states, 1u);
+  ASSERT_LE(a.num_states, dense.dense_threshold);
+  EXPECT_EQ(a.backend, StationaryBackend::kDense);
+  EXPECT_EQ(a.solver_iterations, 0u);       // direct solve: no sweeps
+  EXPECT_LT(a.solver_residual, 1e-10);      // || pi Q ||_1 of the LU solve
+
+  // Drop the threshold below the state count: the SAME chain now takes the
+  // sparse uniformized path, reports it, and agrees on the throughput.
+  GeneralMethodOptions sparse = dense;
+  sparse.dense_threshold = a.num_states - 1;
+  const auto b = exponential_throughput_general(
+      g, rates, g.last_column_transitions(), sparse);
+  EXPECT_EQ(b.backend, StationaryBackend::kUniformized);
+  EXPECT_GT(b.solver_iterations, 0u);
+  EXPECT_LT(b.solver_residual, sparse.stationary.tolerance);
+  // The sweep stops on an L1-change tolerance, which bounds the pi error
+  // only up to the chain's mixing factor — compare a few orders above it.
+  EXPECT_NEAR(b.throughput, a.throughput, 1e-7);
+
+  // saturated_flow (the pattern-cache entry point) dispatches identically —
+  // it is NOT dense-only.
+  const auto sf_dense = saturated_flow(g, rates, dense);
+  EXPECT_EQ(sf_dense.backend, StationaryBackend::kDense);
+  const auto sf_sparse = saturated_flow(g, rates, sparse);
+  EXPECT_EQ(sf_sparse.backend, StationaryBackend::kUniformized);
+  EXPECT_GT(sf_sparse.solver_iterations, 0u);
+  EXPECT_NEAR(sf_sparse.throughput, sf_dense.throughput, 1e-7);
+}
+
 TEST(GeneralMethod, FrequenciesAreRowUniform) {
   // In steady state every transition of a strongly coupled pattern fires at
   // the same frequency (the round-robin equalizes rows).

@@ -341,6 +341,136 @@ TEST(ParallelSearch, SharesOneInstanceAcrossWorkers) {
   EXPECT_EQ(instance.use_count(), 2);
 }
 
+MappingSearchOptions island_options(RestartKind kind, std::uint64_t seed = 42) {
+  MappingSearchOptions options;
+  options.objective = MappingObjective::kExponential;
+  options.kind = kind;
+  options.seed = seed;
+  // A tabu step probes the whole neighbourhood while an SA step probes one
+  // move; keep the tabu legs short so the suite stays fast.
+  options.moves_per_leg = kind == RestartKind::kTabu ? 4 : 48;
+  return options;
+}
+
+TEST(ParallelSearch, IslandPortfoliosBitIdenticalAcrossThreadCounts) {
+  // The metaheuristic islands inherit the portfolio determinism contract:
+  // every counter and trace row is a pure function of (seed, options),
+  // never of the worker-thread count — and the greedy-seeded island 0
+  // keeps the result from ever falling below the greedy baseline.
+  const InstancePtr instance = heterogeneous_instance();
+  for (const RestartKind kind :
+       {RestartKind::kAnnealing, RestartKind::kTabu}) {
+    ParallelSearchOptions options;
+    options.search = island_options(kind);
+    options.islands = 4;
+    options.sync_rounds = 3;
+    options.threads = 1;
+    const ParallelSearchResult reference =
+        parallel_optimize_mapping(instance, options);
+    EXPECT_EQ(reference.restarts, 4u);
+    EXPECT_GE(reference.throughput, reference.greedy_throughput);
+    for (const std::size_t threads : {2, 4, 8}) {
+      options.threads = threads;
+      expect_same_result(reference,
+                         parallel_optimize_mapping(instance, options));
+    }
+  }
+}
+
+TEST(ParallelSearch, IslandStartsReplayFromSubstreams) {
+  // Island 0 enters with the greedy construction; island k >= 1 enters with
+  // the assignment drawn from StreamFactory substream k — a pure function
+  // of (seed, k). trace[k].start_score pins the entry score of the first
+  // feasible leg, so replaying the draw by hand must reproduce it bitwise.
+  const InstancePtr instance = heterogeneous_instance();
+  ParallelSearchOptions options;
+  options.search = island_options(RestartKind::kAnnealing, 99);
+  options.islands = 4;
+  options.sync_rounds = 2;
+  options.threads = 2;
+  const ParallelSearchResult result =
+      parallel_optimize_mapping(instance, options);
+  ASSERT_EQ(result.trace.size(), 4u);
+
+  {
+    AnalysisContext context;
+    const RestartResult greedy =
+        run_greedy_restart(instance, options.search, context);
+    EXPECT_EQ(result.trace[0].start_score, greedy.start_score);
+    EXPECT_EQ(result.greedy_throughput, greedy.start_score);
+  }
+  StreamFactory factory(options.search.seed);
+  for (std::size_t k = 1; k < 4; ++k) {
+    Prng stream = factory.stream(k);
+    StageAssignment start = draw_restart_assignment(
+        instance->application, instance->platform, stream);
+    AnalysisContext context;
+    const RestartResult replay = run_random_restart(
+        instance, std::move(start), search_options(1, 99), context);
+    ASSERT_TRUE(replay.feasible) << "island " << k;
+    EXPECT_EQ(result.trace[k].start_score, replay.start_score)
+        << "island " << k;
+  }
+}
+
+TEST(ParallelSearch, IslandStartScoresHaveThePrefixProperty) {
+  // The exchange ring depends on the island count, so full trajectories may
+  // differ — but each island's ENTRY stays a pure function of (seed, k):
+  // growing the archipelago never changes where an existing island starts.
+  const InstancePtr instance = heterogeneous_instance();
+  ParallelSearchOptions options;
+  options.search = island_options(RestartKind::kTabu, 7);
+  options.islands = 3;
+  options.sync_rounds = 2;
+  options.threads = 4;
+  const ParallelSearchResult small =
+      parallel_optimize_mapping(instance, options);
+  options.islands = 5;
+  const ParallelSearchResult large =
+      parallel_optimize_mapping(instance, options);
+  ASSERT_EQ(small.trace.size(), 3u);
+  ASSERT_EQ(large.trace.size(), 5u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(small.trace[k].start_score, large.trace[k].start_score)
+        << "island " << k;
+  }
+}
+
+TEST(ParallelSearch, ScreenedIslandsMatchUnscreenedBitwise) {
+  // The bound screens may not disturb a single metaheuristic decision: a
+  // pruned probe is proven unable to beat the acceptance threshold, so the
+  // accept/reject sequence — and with it the mapping, the score, and the
+  // evaluation counters — is bit-identical with screening on. Only the
+  // exact-solve split moves: solved probes become pruned ones.
+  const InstancePtr instance = heterogeneous_instance();
+  for (const RestartKind kind :
+       {RestartKind::kAnnealing, RestartKind::kTabu}) {
+    ParallelSearchOptions options;
+    options.search = island_options(kind, 5);
+    options.islands = 3;
+    options.sync_rounds = 2;
+    options.threads = 2;
+    const ParallelSearchResult plain =
+        parallel_optimize_mapping(instance, options);
+    options.search.bounds = BoundPolicy::kMctMaxplus;
+    const ParallelSearchResult screened =
+        parallel_optimize_mapping(instance, options);
+
+    ASSERT_EQ(screened.mapping.num_stages(), plain.mapping.num_stages());
+    for (std::size_t i = 0; i < plain.mapping.num_stages(); ++i) {
+      EXPECT_EQ(screened.mapping.team(i), plain.mapping.team(i));
+    }
+    EXPECT_EQ(screened.throughput, plain.throughput);  // bitwise
+    EXPECT_EQ(screened.best_restart, plain.best_restart);
+    EXPECT_EQ(screened.evaluations, plain.evaluations);
+    EXPECT_EQ(plain.moves_pruned_mct + plain.moves_pruned_maxplus, 0u);
+    EXPECT_EQ(screened.moves_solved + screened.moves_pruned_mct +
+                  screened.moves_pruned_maxplus,
+              plain.moves_solved);
+    EXPECT_GT(screened.moves_pruned_mct + screened.moves_pruned_maxplus, 0u);
+  }
+}
+
 TEST(ParallelSearch, Validation) {
   EXPECT_THROW(parallel_optimize_mapping(nullptr, ParallelSearchOptions{}),
                InvalidArgument);
@@ -353,6 +483,24 @@ TEST(ParallelSearch, Validation) {
   bad.search.objective = MappingObjective::kExponential;
   EXPECT_THROW(parallel_optimize_mapping(heterogeneous_instance(), bad),
                InvalidArgument);
+
+  // Degenerate island shapes are rejected up front, and the batch axis
+  // requires the greedy kind (islands run per instance).
+  ParallelSearchOptions zero_islands;
+  zero_islands.search.kind = RestartKind::kTabu;
+  zero_islands.islands = 0;
+  EXPECT_THROW(parallel_optimize_mapping(heterogeneous_instance(), zero_islands),
+               InvalidArgument);
+  ParallelSearchOptions zero_rounds;
+  zero_rounds.search.kind = RestartKind::kAnnealing;
+  zero_rounds.sync_rounds = 0;
+  EXPECT_THROW(parallel_optimize_mapping(heterogeneous_instance(), zero_rounds),
+               InvalidArgument);
+  ParallelSearchOptions island_batch;
+  island_batch.search.kind = RestartKind::kAnnealing;
+  EXPECT_THROW(
+      parallel_optimize_batch({heterogeneous_instance()}, island_batch),
+      InvalidArgument);
 }
 
 }  // namespace

@@ -32,6 +32,10 @@ for config in "${configs[@]}"; do
     echo "==> ${config}: bench smoke (search throughput)"
     "./${build_dir}/bench_search_throughput" --quick \
         --json "${build_dir}/BENCH_search_throughput.json"
+    # Part 4 (bound screens + metaheuristic islands) must be present in the
+    # artifact: its search_pruning section records the prune sweep, the
+    # bit-identity verdicts, and the greedy/anneal/tabu portfolio.
+    grep -q '"search_pruning"' "${build_dir}/BENCH_search_throughput.json"
     # The sampling bench is the guardrail for the SIMD refill layer: its
     # SHAPE checks enforce byte-identity of the batched stream against the
     # scalar engine and (when a vector kernel is compiled in and selected)

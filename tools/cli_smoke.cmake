@@ -82,6 +82,15 @@ expect_flag_error(--restarts search x.instance --restarts 0)
 expect_flag_error(--max-paths search x.instance --max-paths 0)
 expect_flag_error(--replications simulate x.instance --replications)
 
+# Enumerated/island flags of the search subcommand: unknown kind or prune
+# names, a zero island count, and non-integer sync-round tokens must all
+# fail with a diagnostic naming the flag.
+expect_flag_error(--kind search x.instance --kind simulated-annealing)
+expect_flag_error(--prune search x.instance --prune both)
+expect_flag_error(--islands search x.instance --islands 0)
+expect_flag_error(--sync-rounds search x.instance --sync-rounds 2.5)
+expect_flag_error(--sync-rounds search x.instance --sync-rounds 0)
+
 # example -> analyze -> simulate -> export-tpn on a real instance.
 set(instance "${WORK_DIR}/example.instance")
 run_cli(0 example_out example)
@@ -137,6 +146,39 @@ if(NOT stream1_norm STREQUAL stream8_norm)
                       "--- 8 threads ---\n${stream8_out}")
 endif()
 
+# Bound screens: --prune reports its accounting and must not change a byte
+# of the search result vs --prune none (same flags otherwise).
+run_cli(0 prune_out search "${instance}" --objective exp --restarts 4
+        --seed 3 --prune maxplus)
+if(NOT prune_out MATCHES "prune screen" OR
+   NOT prune_out MATCHES "bit-identical")
+  message(FATAL_ERROR "pruned search output incomplete:\n${prune_out}")
+endif()
+string(REGEX REPLACE "\nprune screen[^\n]*" "" prune_stripped "${prune_out}")
+string(REGEX REPLACE "on [0-9]+ worker" "on N worker" prune_norm "${prune_stripped}")
+if(NOT prune_norm STREQUAL search1_norm)
+  message(FATAL_ERROR "--prune maxplus changed the search result:\n"
+                      "--- unscreened ---\n${search1_out}\n"
+                      "--- screened ---\n${prune_out}")
+endif()
+
+# Metaheuristic islands: --kind anneal|tabu runs the island portfolio and
+# stays byte-identical for any --threads value.
+run_cli(0 island1_out search "${instance}" --objective exp --kind tabu
+        --islands 3 --sync-rounds 2 --seed 3 --threads 1)
+if(NOT island1_out MATCHES "island")
+  message(FATAL_ERROR "island search output incomplete:\n${island1_out}")
+endif()
+run_cli(0 island4_out search "${instance}" --objective exp --kind tabu
+        --islands 3 --sync-rounds 2 --seed 3 --threads 4)
+string(REGEX REPLACE "on [0-9]+ worker" "on N worker" island1_norm "${island1_out}")
+string(REGEX REPLACE "on [0-9]+ worker" "on N worker" island4_norm "${island4_out}")
+if(NOT island1_norm STREQUAL island4_norm)
+  message(FATAL_ERROR "island search is not deterministic across --threads:\n"
+                      "--- 1 thread ---\n${island1_out}\n"
+                      "--- 4 threads ---\n${island4_out}")
+endif()
+
 # Batch mode: scenario rows are dispatched across workers but printed in
 # file order; the same instance listed twice must produce two identical
 # result rows (every scenario shares --seed and rows are cache-state and
@@ -148,6 +190,11 @@ run_cli(0 batch_out search --scenarios "${WORK_DIR}/scenarios.txt"
 if(NOT batch_out MATCHES "portfolio batch")
   message(FATAL_ERROR "batch search output incomplete:\n${batch_out}")
 endif()
+
+# Islands are per-instance only: a metaheuristic kind combined with
+# --scenarios is a usage error surfaced by the library (exit 1).
+run_cli(1 ignored search --scenarios "${WORK_DIR}/scenarios.txt"
+        --kind anneal --seed 3)
 string(REGEX MATCHALL "example\\.instance[^\n]*" batch_rows "${batch_out}")
 list(LENGTH batch_rows batch_row_count)
 if(NOT batch_row_count EQUAL 2)

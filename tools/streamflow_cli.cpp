@@ -8,6 +8,8 @@
 //   streamflow search <instance-file> [--objective det|exp]
 //                      [--restarts R] [--seed S] [--max-paths P]
 //                      [--threads T] [--restart-streams]
+//                      [--kind greedy|anneal|tabu] [--prune none|mct|maxplus]
+//                      [--islands I] [--sync-rounds N]
 //   streamflow search --scenarios <list-file> [same options]
 //                      [--scenario-streams]                       # batch
 //   streamflow export-tpn <instance-file> [--model overlap|strict]  # DOT
@@ -38,6 +40,15 @@
 // across the workers and printed in file order; --scenario-streams gives
 // scenario j an independent stream family (default: all scenarios share
 // --seed, so identical instance files produce identical rows).
+//
+// `--prune mct|maxplus` arms the admissible bound screens of
+// core/analysis_context: cheap deterministic upper bounds filter moves that
+// provably cannot beat the incumbent before the expensive CTMC solve, and
+// the result stays bit-identical to the unscreened search. `--kind
+// anneal|tabu` replaces the greedy restart portfolio with a deterministic
+// metaheuristic island portfolio (--islands islands, --sync-rounds rounds);
+// islands exchange incumbents only at serial sync points, so the result is
+// still a pure function of (seed, options), independent of --threads.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -70,6 +81,9 @@ void print_usage(std::ostream& out) {
       << "  streamflow search <instance> [--model overlap|strict]\n"
       << "             [--objective det|exp] [--restarts R] [--seed S]\n"
       << "             [--max-paths P] [--threads T] [--restart-streams]\n"
+      << "             [--kind greedy|anneal|tabu]\n"
+      << "             [--prune none|mct|maxplus]\n"
+      << "             [--islands I] [--sync-rounds N]\n"
       << "  streamflow search --scenarios <list-file> [same options]\n"
       << "             [--scenario-streams]\n"
       << "  streamflow export-tpn <instance> [--model overlap|strict]\n"
@@ -101,14 +115,28 @@ void print_usage(std::ostream& out) {
       << "dispatched across the workers and printed in file order;\n"
       << "--scenario-streams advances scenario j's seed stream j long\n"
       << "jumps so identical scenarios explore different restarts.\n"
+      << "--prune mct screens every move with a cheap admissible rate bound\n"
+      << "before the exact solve; --prune maxplus escalates inconclusive\n"
+      << "screens through the max-plus deterministic bound. Screens only\n"
+      << "skip moves that provably cannot beat the incumbent, so the search\n"
+      << "result is bit-identical to --prune none. --kind anneal|tabu runs\n"
+      << "a simulated-annealing or tabu island portfolio instead of the\n"
+      << "greedy restarts: --islands I deterministic islands (island 0 is\n"
+      << "greedy-seeded, island k draws from PRNG substream k) exchange\n"
+      << "incumbents round-robin at --sync-rounds serial sync points, so\n"
+      << "the outcome is a pure function of (seed, options) for every\n"
+      << "--threads value. --kind anneal|tabu is per-instance only and\n"
+      << "cannot be combined with --scenarios.\n"
       << "\n"
       << "fuzz draws a deterministic scenario corpus (scenario k is a pure\n"
       << "function of --seed and k) spanning five structural regimes and\n"
-      << "every timing-law family, and differentially cross-checks four\n"
+      << "every timing-law family, and differentially cross-checks five\n"
       << "evaluators on each scenario: the exponential analyzer against the\n"
       << "replicated simulation CI, Theorem 7's N.B.U.E. sandwich, the\n"
-      << "max-plus deterministic upper bound, and serial/parallel plus\n"
-      << "sampling-mode determinism. Each divergence is minimized and\n"
+      << "max-plus deterministic upper bound, serial/parallel plus\n"
+      << "sampling-mode determinism, and the bound-screened search against\n"
+      << "the unscreened search (bit-identical scores, mappings, and\n"
+      << "evaluation counts). Each divergence is minimized and\n"
       << "written to --divergence-dir as a replayable .scenario fixture;\n"
       << "--json writes the full machine-readable report; --digest prints\n"
       << "the status-only digest (bit-identical for every --threads AND\n"
@@ -138,6 +166,10 @@ struct CliArgs {
   std::int64_t max_paths = 256;
   bool restart_streams = false;   // substream-per-restart seeding
   bool scenario_streams = false;  // independent stream family per scenario
+  std::string kind = "greedy";    // "greedy" | "anneal" | "tabu"
+  std::string prune = "none";     // "none" | "mct" | "maxplus"
+  std::size_t islands = 4;
+  std::size_t sync_rounds = 8;
   // fuzz options (fuzz/diff_harness.hpp). The harness has its own
   // replications/data-sets defaults, so remember whether the shared flags
   // were given explicitly.
@@ -246,6 +278,26 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.restart_streams = true;
     } else if (a == "--scenario-streams") {
       args.scenario_streams = true;
+    } else if (a == "--kind") {
+      const char* v = next();
+      if (!v || (std::string(v) != "greedy" && std::string(v) != "anneal" &&
+                 std::string(v) != "tabu"))
+        return flag_error(a, v, "'greedy', 'anneal', or 'tabu'");
+      args.kind = v;
+    } else if (a == "--prune") {
+      const char* v = next();
+      if (!v || (std::string(v) != "none" && std::string(v) != "mct" &&
+                 std::string(v) != "maxplus"))
+        return flag_error(a, v, "'none', 'mct', or 'maxplus'");
+      args.prune = v;
+    } else if (a == "--islands") {
+      const char* v = next();
+      if (!v || !parse_integer(v, args.islands) || args.islands == 0)
+        return flag_error(a, v, "a positive integer");
+    } else if (a == "--sync-rounds") {
+      const char* v = next();
+      if (!v || !parse_integer(v, args.sync_rounds) || args.sync_rounds == 0)
+        return flag_error(a, v, "a positive integer");
     } else if (a == "--count") {
       const char* v = next();
       if (!v || !parse_integer(v, args.count) || args.count == 0)
@@ -420,10 +472,24 @@ int cmd_search(const CliArgs& args) {
   options.search.restarts = args.restarts;
   options.search.seed = args.seed;
   options.search.max_paths = args.max_paths;
+  options.search.kind = args.kind == "anneal" ? RestartKind::kAnnealing
+                        : args.kind == "tabu" ? RestartKind::kTabu
+                                              : RestartKind::kGreedyLocal;
+  options.search.bounds = args.prune == "mct"       ? BoundPolicy::kMct
+                          : args.prune == "maxplus" ? BoundPolicy::kMctMaxplus
+                                                    : BoundPolicy::kNone;
   options.threads = args.threads;
   options.seeding = args.restart_streams ? RestartSeeding::kSubstreams
                                          : RestartSeeding::kSequentialCompat;
   options.scenario_streams = args.scenario_streams;
+  options.islands = args.islands;
+  options.sync_rounds = args.sync_rounds;
+  if (options.search.kind != RestartKind::kGreedyLocal &&
+      !args.scenarios_path.empty()) {
+    throw InvalidArgument(
+        "--kind anneal|tabu searches one instance (the island portfolio does "
+        "not compose with --scenarios); run the batch with --kind greedy");
+  }
 
   const char* objective_name =
       options.search.objective == MappingObjective::kDeterministic
@@ -441,17 +507,38 @@ int cmd_search(const CliArgs& args) {
         parallel_optimize_mapping(instance.instance(), options);
     std::cout << "objective    : " << objective_name << " throughput ("
               << to_string(options.search.model) << " model)\n";
-    std::cout << "portfolio    : " << result.restarts << " restart(s), "
-              << seeding_name << " seeding, seed " << args.seed << ", on "
-              << result.threads_used
-              << " worker thread(s) (results independent of --threads)\n";
+    if (options.search.kind == RestartKind::kGreedyLocal) {
+      std::cout << "portfolio    : " << result.restarts << " restart(s), "
+                << seeding_name << " seeding, seed " << args.seed << ", on "
+                << result.threads_used
+                << " worker thread(s) (results independent of --threads)\n";
+    } else {
+      std::cout << "portfolio    : " << args.kind << ", " << result.restarts
+                << " island(s) x " << args.sync_rounds
+                << " sync round(s), seed " << args.seed << ", on "
+                << result.threads_used
+                << " worker thread(s) (results independent of --threads)\n";
+    }
     std::cout << "best mapping : " << result.mapping.to_string() << "\n";
     std::cout << "throughput   : " << result.throughput << "  (greedy start "
-              << result.greedy_throughput << ", best found by restart "
+              << result.greedy_throughput << ", best found by "
+              << (options.search.kind == RestartKind::kGreedyLocal
+                      ? "restart "
+                      : "island ")
               << result.best_restart << ")\n";
     std::cout << "evaluations  : " << result.evaluations << "  ("
               << result.pattern_requests
               << " pattern solves requested across workers)\n";
+    if (options.search.bounds != BoundPolicy::kNone) {
+      const std::size_t pruned =
+          result.moves_pruned_mct + result.moves_pruned_maxplus;
+      const std::size_t probes = pruned + result.moves_solved;
+      std::cout << "prune screen : " << args.prune << ": " << pruned << "/"
+                << probes << " move probes pruned (" << result.moves_pruned_mct
+                << " by the rate bound, " << result.moves_pruned_maxplus
+                << " by max-plus), " << result.moves_solved
+                << " solved exactly; result bit-identical to --prune none\n";
+    }
     return 0;
   }
 
