@@ -3,9 +3,10 @@
 #include <bit>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace streamflow {
 
@@ -120,15 +121,25 @@ State apply(const LaneJump& jump, const State& s) {
   return out;
 }
 
+/// The process-wide intern cache of byte-table jump matrices — the one piece
+/// of shared mutable state in the SIMD refill layer. The map is guarded; the
+/// LaneJump payloads are immutable once published (entries are never erased,
+/// so handing out `const LaneJump&` past the lock is safe).
+struct LaneJumpCache {
+  Mutex mutex;
+  std::map<std::size_t, std::unique_ptr<LaneJump>> entries
+      SF_GUARDED_BY(mutex);
+};
+
 /// Intern the byte-table form of T^steps: computed once per distinct step
 /// count per process, then shared read-only by every BufferedPrng
 /// (thread-safe; the returned tables are immutable).
 const LaneJump& lane_jump_tables(std::size_t steps) {
-  static std::mutex mutex;
-  static std::map<std::size_t, std::unique_ptr<LaneJump>>* cache =
-      new std::map<std::size_t, std::unique_ptr<LaneJump>>();
-  std::lock_guard<std::mutex> lock(mutex);
-  auto& slot = (*cache)[steps];
+  // Leaked intentionally: BufferedPrng instances may outlive static
+  // destruction order, and the tables are meaningful for the whole process.
+  static LaneJumpCache* cache = new LaneJumpCache();
+  MutexLock lock(cache->mutex);
+  auto& slot = cache->entries[steps];
   if (!slot) slot = std::make_unique<LaneJump>(tables_from(power(steps)));
   return *slot;
 }

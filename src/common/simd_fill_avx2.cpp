@@ -64,6 +64,10 @@ inline __m256d u64lt53_to_double(__m256i v) {
   return _mm256_add_pd(f, _mm256_castsi256_pd(lo));
 }
 
+// NOLINTBEGIN(cppcoreguidelines-pro-type-reinterpret-cast)
+// The intrinsic load/store API takes __m256i*. Each cast below points at
+// uint64_t quads inside LaneBlock's alignas(64) rows with g in {0, 4}, so
+// every 32-byte access is aligned and in-bounds.
 inline QuadState load_group(const LaneBlock& lanes, std::size_t g) {
   return QuadState{
       _mm256_load_si256(reinterpret_cast<const __m256i*>(&lanes.s[0][g])),
@@ -78,6 +82,7 @@ inline void store_group(LaneBlock& lanes, std::size_t g, const QuadState& q) {
   _mm256_store_si256(reinterpret_cast<__m256i*>(&lanes.s[2][g]), q.s2);
   _mm256_store_si256(reinterpret_cast<__m256i*>(&lanes.s[3][g]), q.s3);
 }
+// NOLINTEND(cppcoreguidelines-pro-type-reinterpret-cast)
 
 // Both fill loops advance the two 4-lane groups in lockstep: each group's
 // recurrence is a serial dependency chain (~4-cycle critical path per step),
@@ -99,8 +104,12 @@ void fill_avx2_impl(LaneBlock& lanes, std::uint64_t* out,
     transpose4x4(ra, ca);
     transpose4x4(rb, cb);
     for (std::size_t j = 0; j < 4; ++j) {
+      // Casts: unaligned-store intrinsics take __m256i*; the caller-owned
+      // uint64_t buffer has no alignment contract, hence storeu.
+      // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
       _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j * per_lane + i),
                           ca[j]);
+      // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
       _mm256_storeu_si256(
           reinterpret_cast<__m256i*>(base_b + j * per_lane + i), cb[j]);
     }
@@ -114,6 +123,8 @@ void convert_u01_avx2_impl(const std::uint64_t* in, double* out,
   const __m256d scale = _mm256_set1_pd(0x1.0p-53);
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
+    // Cast: unaligned-load intrinsic over the caller's uint64_t buffer.
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
     const __m256i v = _mm256_loadu_si256(
         reinterpret_cast<const __m256i*>(in + i));
     const __m256d d = u64lt53_to_double(_mm256_srli_epi64(v, 11));

@@ -69,6 +69,10 @@ inline void transpose8x8(const __m512i r[8], __m512i c[8]) {
   c[7] = _mm512_shuffle_i64x2(u3, u7, 0xdd);
 }
 
+// NOLINTBEGIN(cppcoreguidelines-pro-type-reinterpret-cast)
+// The 512-bit load/store intrinsics take void*. Each cast below covers one
+// whole alignas(64) LaneBlock row (8 lanes x 8 bytes), so every 64-byte
+// access is aligned and exactly in-bounds.
 inline OctoState load_state(const LaneBlock& lanes) {
   return OctoState{
       _mm512_load_si512(reinterpret_cast<const void*>(&lanes.s[0][0])),
@@ -83,6 +87,7 @@ inline void store_state(LaneBlock& lanes, const OctoState& q) {
   _mm512_store_si512(reinterpret_cast<void*>(&lanes.s[2][0]), q.s2);
   _mm512_store_si512(reinterpret_cast<void*>(&lanes.s[3][0]), q.s3);
 }
+// NOLINTEND(cppcoreguidelines-pro-type-reinterpret-cast)
 
 static_assert(kLanes == 8, "one ZMM register holds exactly the 8 lanes");
 
@@ -94,6 +99,9 @@ void fill_avx512_impl(LaneBlock& lanes, std::uint64_t* out,
     for (int u = 0; u < 8; ++u) r[u] = next8(q);
     transpose8x8(r, c);
     for (std::size_t j = 0; j < 8; ++j) {
+      // Cast: unaligned-store intrinsic takes void*; the caller-owned
+      // uint64_t buffer has no alignment contract, hence storeu.
+      // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
       _mm512_storeu_si512(reinterpret_cast<void*>(out + j * per_lane + i),
                           c[j]);
     }
@@ -106,6 +114,8 @@ void convert_u01_avx512_impl(const std::uint64_t* in, double* out,
   const __m512d scale = _mm512_set1_pd(0x1.0p-53);
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
+    // Cast: unaligned-load intrinsic over the caller's uint64_t buffer.
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
     const __m512i v = _mm512_loadu_si512(
         reinterpret_cast<const void*>(in + i));
     const __m512d d = _mm512_cvtepu64_pd(_mm512_srli_epi64(v, 11));

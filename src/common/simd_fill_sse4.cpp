@@ -48,6 +48,10 @@ inline __m128d u64lt53_to_double(__m128i v) {
   return _mm_add_pd(f, _mm_castsi128_pd(lo));
 }
 
+// NOLINTBEGIN(cppcoreguidelines-pro-type-reinterpret-cast)
+// The intrinsic load/store API takes __m128i*. Each cast below points at
+// uint64_t pairs inside LaneBlock's alignas(64) rows with an even group
+// index g, so every 16-byte access is aligned and in-bounds.
 inline PairState load_group(const LaneBlock& lanes, std::size_t g) {
   return PairState{
       _mm_load_si128(reinterpret_cast<const __m128i*>(&lanes.s[0][g])),
@@ -62,6 +66,7 @@ inline void store_group(LaneBlock& lanes, std::size_t g, const PairState& q) {
   _mm_store_si128(reinterpret_cast<__m128i*>(&lanes.s[2][g]), q.s2);
   _mm_store_si128(reinterpret_cast<__m128i*>(&lanes.s[3][g]), q.s3);
 }
+// NOLINTEND(cppcoreguidelines-pro-type-reinterpret-cast)
 
 // Both fill loops advance the four 2-lane groups in lockstep: each group's
 // recurrence is a serial dependency chain, so interleaving the four chains
@@ -80,8 +85,12 @@ void fill_sse4_impl(LaneBlock& lanes, std::uint64_t* out,
       const __m128i r0 = next2(q[g]);
       const __m128i r1 = next2(q[g]);
       std::uint64_t* base = out + 2 * g * per_lane;
+      // Casts: unaligned-store intrinsics take __m128i*; the caller-owned
+      // uint64_t buffer has no alignment contract, hence storeu.
+      // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
       _mm_storeu_si128(reinterpret_cast<__m128i*>(base + i),
                        _mm_unpacklo_epi64(r0, r1));
+      // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
       _mm_storeu_si128(reinterpret_cast<__m128i*>(base + per_lane + i),
                        _mm_unpackhi_epi64(r0, r1));
     }
@@ -94,6 +103,8 @@ void convert_u01_sse4_impl(const std::uint64_t* in, double* out,
   const __m128d scale = _mm_set1_pd(0x1.0p-53);
   std::size_t i = 0;
   for (; i + 2 <= n; i += 2) {
+    // Cast: unaligned-load intrinsic over the caller's uint64_t buffer.
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
     const __m128i v =
         _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
     const __m128d d = u64lt53_to_double(_mm_srli_epi64(v, 11));

@@ -261,6 +261,10 @@ class AnalysisContext {
   ExponentialOptions options_;
   CandidatePolicy candidate_policy_ = CandidatePolicy::kSharedDerive;
   AnalysisCacheStats stats_;
+  // Point-queried only (find/emplace/clear/size) and NEVER iterated:
+  // iteration order would depend on hash seeding and insertion history,
+  // and must not be able to reach results. The unordered-iter lint rule
+  // guards this invariant tree-wide.
   std::unordered_map<PatternSignature, double, SignatureHash> pattern_cache_;
 
   // Arenas reused across evaluations.

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 #include "common/stats.hpp"
 #include "engine/stream_factory.hpp"
 #include "engine/thread_pool.hpp"
@@ -78,7 +78,7 @@ ReplicatedResult ExperimentRunner::run(
     // stashed and rethrown after the pool drains.
     std::atomic<std::size_t> next{0};
     std::exception_ptr first_error;
-    std::mutex error_mutex;
+    Mutex error_mutex;
     ThreadPool pool(threads);
     for (std::size_t w = 0; w < threads; ++w) {
       pool.submit([&] {
@@ -88,7 +88,7 @@ ReplicatedResult ExperimentRunner::run(
           try {
             run_one(k);
           } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
+            MutexLock lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
           }
         }

@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 #include "common/prng.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/analysis_context.hpp"
 #include "engine/stream_factory.hpp"
 #include "engine/thread_pool.hpp"
@@ -168,21 +169,25 @@ void exchange_incumbents(std::vector<IslandState>& islands) {
 /// caller sees does not depend on worker timing.
 class DeterministicErrorStash {
  public:
-  void offer(std::size_t index, std::exception_ptr error) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void offer(std::size_t index, std::exception_ptr error) SF_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (!error_ || index < index_) {
       index_ = index;
       error_ = std::move(error);
     }
   }
-  void rethrow_if_any() const {
+  // Callers invoke this after the pool's round barrier, but taking the lock
+  // anyway keeps the guarded-access contract unconditional (and costs one
+  // uncontended acquisition per round).
+  void rethrow_if_any() const SF_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (error_) std::rethrow_exception(error_);
   }
 
  private:
-  std::mutex mutex_;
-  std::size_t index_ = 0;
-  std::exception_ptr error_;
+  mutable Mutex mutex_;
+  std::size_t index_ SF_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ SF_GUARDED_BY(mutex_);
 };
 
 /// The SA/tabu island portfolio (see the ParallelSearchOptions island

@@ -14,15 +14,33 @@
 // while workers run; tasks themselves must not touch the pool. Tasks run
 // concurrently, so anything they share must be immutable (e.g. one
 // Instance) or sliced per task (e.g. one AnalysisContext per worker).
+//
+// The locking contract is MACHINE-CHECKED: every mutable member is
+// SF_GUARDED_BY(mutex_) and every helper that assumes the lock is
+// SF_REQUIRES(mutex_), enforced by `clang -Wthread-safety
+// -Werror=thread-safety` (the CI clang job; GCC compiles the annotations
+// away). Local spot-check of the contract, from the repo root:
+//
+//   CXX=clang++ cmake -B build-clang -S . && cmake --build build-clang
+//
+// — then delete the SF_REQUIRES(mutex_) on `work_done()` below and watch
+// the build fail (the body reads guarded members without the capability;
+// CI automates exactly this mutation). Deleting an SF_GUARDED_BY instead
+// WEAKENS the analysis rather than breaking the build — accesses to that
+// member simply stop being checked — which is why the lint forbids raw
+// std::mutex: the guard annotations must at least exist for the analysis
+// to have anything to enforce. To see a GUARDED_BY fire, add
+// `queue_.size();` outside any MutexLock scope and rebuild with clang.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace streamflow {
 
@@ -41,21 +59,27 @@ class ThreadPool {
 
   /// Enqueue one task. Tasks must not throw — wrap fallible work and stash
   /// the exception (see ExperimentRunner).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) SF_EXCLUDES(mutex_);
 
   /// Block until every submitted task has finished.
-  void wait();
+  void wait() SF_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() SF_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  /// True when the queue is drained and no worker is mid-task — the
+  /// `wait()` predicate and the `all_done_` notification condition.
+  bool work_done() const SF_REQUIRES(mutex_) {
+    return queue_.empty() && in_flight_ == 0;
+  }
+
+  std::vector<std::thread> workers_;  // immutable after construction
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ SF_GUARDED_BY(mutex_);
+  CondVar work_available_;
+  CondVar all_done_;
+  std::size_t in_flight_ SF_GUARDED_BY(mutex_) = 0;
+  bool stopping_ SF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace streamflow

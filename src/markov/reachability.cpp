@@ -43,6 +43,10 @@ TpnMarkovChain explore_markings(const TimedEventGraph& graph,
   }
 
   TpnMarkovChain chain;
+  // `index` is dedup-only: markings are point-queried (emplace/find) and the
+  // map is NEVER iterated — state numbering comes from the BFS `frontier`
+  // deque, so state ids are a pure function of the net, independent of hash
+  // order. The unordered-iter lint rule guards this invariant tree-wide.
   std::unordered_map<Marking, std::size_t, MarkingHash> index;
   std::deque<Marking> frontier;
   index.emplace(initial, 0);

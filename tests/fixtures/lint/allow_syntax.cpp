@@ -1,0 +1,8 @@
+// Planted violation fixture: rule `allow-syntax`.
+// Line 4 fires (unknown rule id); line 5 fires (missing ": reason").
+// Line 7 carries a well-formed allow, so line 8 reports nothing at all.
+int planted_unknown_rule = 0;  // lint:allow(not-a-rule): unknown ids must be rejected
+int planted_missing_reason = 0;  // lint:allow(ambient-entropy)
+#include <random>
+// lint:allow(ambient-entropy): fixture — well-formed suppression works
+std::random_device planted_allowed;

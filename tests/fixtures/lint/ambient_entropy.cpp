@@ -1,0 +1,9 @@
+// Planted violation fixture: rule `ambient-entropy`.
+// Line 5 fires (std::random_device); line 7 fires (rand()); line 9 is
+// suppressed by a standalone allow comment on line 8.
+#include <random>
+std::random_device planted_fire;
+#include <cstdlib>
+int planted_rand_fire = std::rand();
+// lint:allow(ambient-entropy): fixture proving next-line suppression
+int planted_allowed = std::rand();

@@ -1,0 +1,5 @@
+// Planted violation fixture: rule `float-type` (fires only under src/).
+// Line 4 fires; line 5 is suppressed; doubles never fire.
+double fine = 1.0;
+float planted_fire = 1.0f;
+float planted_allowed = 2.0f;  // lint:allow(float-type): fixture proving suppression

@@ -1,0 +1,4 @@
+// Planted violation fixture: rule `header-pragma-once`, reported at line 1.
+// Mentioning #pragma once in a comment must not count — the scan only
+// looks at the code view.
+inline int planted_fire = 0;

@@ -1,0 +1,4 @@
+// Planted fixture: a file-level allow suppresses the missing-pragma
+// violation for the whole header.
+// lint:allow-file(header-pragma-once): fixture proving file-level suppression
+inline int planted_allowed = 0;

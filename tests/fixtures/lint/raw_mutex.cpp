@@ -1,0 +1,7 @@
+// Planted violation fixture: rule `raw-mutex`.
+// Line 5 fires (std::mutex); line 6 fires (std::lock_guard); line 7 is
+// suppressed. The #include alone (line 4) must not fire.
+#include <mutex>
+std::mutex planted_fire;
+std::lock_guard<std::mutex> planted_guard_fire(planted_fire);
+std::condition_variable planted_allowed_cv;  // lint:allow(raw-mutex): fixture proving suppression

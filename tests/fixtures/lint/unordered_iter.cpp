@@ -1,0 +1,20 @@
+// Planted violation fixture: rule `unordered-iter`.
+// Line 9 (range-for) and line 10 (.begin() loop) fire; line 12 is
+// suppressed by the justification comment on line 11. Vector iteration
+// (line 18) never fires.
+#include <unordered_map>
+std::unordered_map<int, int> counts;
+int sum() {
+  int total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  for (auto it = counts.begin(); it != counts.end(); ++it) total += it->second;
+  // lint:allow(unordered-iter): fixture — fold is order-insensitive (sum)
+  for (const auto& kv : counts) total += kv.second;
+  return total;
+}
+std::vector<int> ordered;
+int sum_ordered() {
+  int total = 0;
+  for (int v : ordered) total += v;
+  return total;
+}

@@ -1,0 +1,7 @@
+// Planted violation fixture: rule `using-namespace-header`.
+// Line 6 fires; line 7 is suppressed. The same directive in a .cpp
+// policy path never fires (header-only rule).
+#pragma once
+#include <string>
+using namespace std;
+using namespace std::literals;  // lint:allow(using-namespace-header): fixture proving suppression

@@ -1,0 +1,9 @@
+// Planted violation fixture: rule `wall-clock`.
+// Line 5 fires; line 7 is suppressed; line 9 (chrono clock) fires.
+#include <chrono>
+#include <ctime>
+std::time_t planted_fire = std::time(nullptr);
+std::time_t planted_allowed =
+    std::time(nullptr);  // lint:allow(wall-clock): fixture proving suppression
+auto planted_clock_fire =
+    std::chrono::system_clock::now();

@@ -1,0 +1,186 @@
+// Mutation-style coverage for the streamflow_lint rule engine.
+//
+// The contract under test: every rule in lint::rules() can actually fire —
+// proven by replaying the planted-violation fixtures under
+// tests/fixtures/lint/ (which the tree scan deliberately skips) — and every
+// firing site is silenced by a well-formed `lint:allow(<rule>): <reason>`
+// comment. Policy carve-outs (bench/ wall-clock exemption, src/-only float
+// ban, header-only rules, the annotated mutex wrapper itself) are pinned
+// here too, so a refactor of the engine cannot silently widen or narrow a
+// rule.
+#include "lint_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace streamflow::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(STREAMFLOW_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Lints fixture `name` as if it lived at repo-relative `policy_path`
+/// (the path prefix and extension drive which rules apply), reduced to
+/// the (rule, line) pairs the assertions pin.
+using Fired = std::vector<std::pair<std::string, std::size_t>>;
+
+Fired fire(const std::string& policy_path, const std::string& content) {
+  Fired fired;
+  for (const Violation& v : lint_content(policy_path, content)) {
+    EXPECT_EQ(v.path, policy_path);
+    EXPECT_FALSE(v.message.empty());
+    fired.emplace_back(v.rule, v.line);
+  }
+  return fired;
+}
+
+Fired fire_fixture(const std::string& policy_path, const std::string& name) {
+  return fire(policy_path, read_fixture(name));
+}
+
+TEST(Lint, WallClockFiresAndAllowSuppresses) {
+  const Fired fired = fire_fixture("src/engine/wall_clock.cpp", "wall_clock.cpp");
+  const Fired expected = {{"wall-clock", 5}, {"wall-clock", 9}};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Lint, WallClockExemptUnderBench) {
+  EXPECT_TRUE(fire_fixture("bench/wall_clock.cpp", "wall_clock.cpp").empty());
+}
+
+TEST(Lint, AmbientEntropyFiresEverywhereIncludingStdQualifiedRand) {
+  const Fired expected = {{"ambient-entropy", 5}, {"ambient-entropy", 7}};
+  EXPECT_EQ(fire_fixture("src/core/ambient_entropy.cpp", "ambient_entropy.cpp"),
+            expected);
+  // No bench exemption for entropy: timing may be ambient, randomness never.
+  EXPECT_EQ(fire_fixture("bench/ambient_entropy.cpp", "ambient_entropy.cpp"),
+            expected);
+}
+
+TEST(Lint, FloatTypeFiresOnlyUnderSrc) {
+  const Fired expected = {{"float-type", 4}};
+  EXPECT_EQ(fire_fixture("src/core/float_type.cpp", "float_type.cpp"), expected);
+  EXPECT_TRUE(fire_fixture("tools/float_type.cpp", "float_type.cpp").empty());
+}
+
+TEST(Lint, UnorderedIterFiresAndJustificationSuppresses) {
+  const Fired fired =
+      fire_fixture("src/markov/unordered_iter.cpp", "unordered_iter.cpp");
+  const Fired expected = {{"unordered-iter", 9}, {"unordered-iter", 10}};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Lint, HeaderPragmaOnceFiresAtLineOne) {
+  const Fired fired =
+      fire_fixture("src/common/header_pragma_once.hpp", "header_pragma_once.hpp");
+  const Fired expected = {{"header-pragma-once", 1}};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Lint, HeaderPragmaOnceFileLevelAllowSuppresses) {
+  EXPECT_TRUE(fire_fixture("src/common/header_pragma_once_allowed.hpp",
+                           "header_pragma_once_allowed.hpp")
+                  .empty());
+}
+
+TEST(Lint, UsingNamespaceFiresOnlyInHeaders) {
+  const Fired fired =
+      fire_fixture("src/core/using_namespace.hpp", "using_namespace.hpp");
+  const Fired expected = {{"using-namespace-header", 6}};
+  EXPECT_EQ(fired, expected);
+  // The very same directive in a translation unit is legal.
+  EXPECT_TRUE(
+      fire_fixture("src/core/using_namespace.cpp", "using_namespace.hpp").empty());
+}
+
+TEST(Lint, RawMutexFiresAndAllowSuppresses) {
+  const Fired fired = fire_fixture("src/engine/raw_mutex.cpp", "raw_mutex.cpp");
+  const Fired expected = {{"raw-mutex", 5}, {"raw-mutex", 6}};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Lint, RawMutexExemptInsideTheAnnotatedWrapper) {
+  // common/mutex.hpp is the one place allowed to touch the raw primitive.
+  // The fixture has no #pragma once, so only that rule may fire.
+  const Fired fired = fire_fixture("src/common/mutex.hpp", "raw_mutex.cpp");
+  const Fired expected = {{"header-pragma-once", 1}};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Lint, AllowSyntaxFiresOnUnknownRuleAndMissingReason) {
+  const Fired fired =
+      fire_fixture("tools/allow_syntax.cpp", "allow_syntax.cpp");
+  const Fired expected = {{"allow-syntax", 4}, {"allow-syntax", 5}};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Lint, TokensInCommentsAndStringsNeverFire) {
+  const std::string content =
+      "#pragma once\n"
+      "// std::mutex std::random_device float std::time( in prose\n"
+      "inline const char* kDoc = \"std::rand() /dev/urandom float\";\n"
+      "/* using namespace std; std::chrono::system_clock */\n";
+  EXPECT_TRUE(fire("src/core/doc.hpp", content).empty());
+}
+
+TEST(Lint, RulesTableIsCompleteAndQueriable) {
+  const std::set<std::string> expected = {
+      "wall-clock",        "ambient-entropy",        "float-type",
+      "unordered-iter",    "header-pragma-once",     "using-namespace-header",
+      "raw-mutex",         "allow-syntax",
+  };
+  std::set<std::string> listed;
+  for (const RuleInfo& rule : rules()) {
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+    EXPECT_TRUE(is_known_rule(rule.id));
+    listed.insert(rule.id);
+  }
+  EXPECT_EQ(listed, expected);
+  EXPECT_FALSE(is_known_rule("not-a-rule"));
+}
+
+// Mutation-style completeness: every rule the engine advertises is proven
+// able to fire by at least one fixture. A new rule added without a planted
+// fixture fails here.
+TEST(Lint, EveryAdvertisedRuleFiresOnSomeFixture) {
+  const std::vector<std::pair<std::string, std::string>> runs = {
+      {"src/engine/wall_clock.cpp", "wall_clock.cpp"},
+      {"src/core/ambient_entropy.cpp", "ambient_entropy.cpp"},
+      {"src/core/float_type.cpp", "float_type.cpp"},
+      {"src/markov/unordered_iter.cpp", "unordered_iter.cpp"},
+      {"src/common/header_pragma_once.hpp", "header_pragma_once.hpp"},
+      {"src/core/using_namespace.hpp", "using_namespace.hpp"},
+      {"src/engine/raw_mutex.cpp", "raw_mutex.cpp"},
+      {"tools/allow_syntax.cpp", "allow_syntax.cpp"},
+  };
+  std::set<std::string> fired;
+  for (const auto& [policy_path, fixture] : runs)
+    for (const auto& [rule, line] : fire_fixture(policy_path, fixture))
+      fired.insert(rule);
+  std::set<std::string> advertised;
+  for (const RuleInfo& rule : rules()) advertised.insert(rule.id);
+  EXPECT_EQ(fired, advertised);
+}
+
+TEST(Lint, LintContentIsDeterministic) {
+  const std::string content = read_fixture("unordered_iter.cpp");
+  const Fired first = fire("src/a.cpp", content);
+  const Fired second = fire("src/a.cpp", content);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+}  // namespace
+}  // namespace streamflow::lint

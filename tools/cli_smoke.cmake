@@ -247,4 +247,68 @@ if(NOT rep1_norm STREQUAL rep4_norm)
                       "--- 4 threads ---\n${rep4_out}")
 endif()
 
+# --- streamflow_lint smoke (optional: -DLINT=<binary> -DLINT_SOURCE=<cpp>) --
+# Same help-audit discipline as the CLI above, applied to the lint binary:
+# every parsed flag documented, --list-rules complete, unknown flags loud.
+if(DEFINED LINT)
+  function(run_lint expect_rc out_var)
+    execute_process(COMMAND "${LINT}" ${ARGN}
+                    RESULT_VARIABLE rc
+                    OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT rc EQUAL ${expect_rc})
+      message(FATAL_ERROR "streamflow_lint ${ARGN} exited ${rc} "
+                          "(expected ${expect_rc})\nstdout:\n${out}\nstderr:\n${err}")
+    endif()
+    set(${out_var} "${out}" PARENT_SCOPE)
+    set(${out_var}_err "${err}" PARENT_SCOPE)
+  endfunction()
+
+  run_lint(0 lint_help_out --help)
+  if(NOT lint_help_out MATCHES "usage" OR NOT lint_help_out MATCHES "lint:allow")
+    message(FATAL_ERROR "streamflow_lint --help output does not describe "
+                        "usage and the lint:allow syntax:\n${lint_help_out}")
+  endif()
+
+  # Help-text audit against the flags the binary actually parses.
+  if(DEFINED LINT_SOURCE)
+    file(READ "${LINT_SOURCE}" lint_source)
+    string(REGEX MATCHALL "a == \"(--[a-z-]+)\"" lint_flag_matches "${lint_source}")
+    set(lint_flags "")
+    foreach(match IN LISTS lint_flag_matches)
+      string(REGEX REPLACE "a == \"(--[a-z-]+)\"" "\\1" flag "${match}")
+      list(APPEND lint_flags "${flag}")
+    endforeach()
+    list(REMOVE_DUPLICATES lint_flags)
+    list(LENGTH lint_flags lint_flag_count)
+    if(lint_flag_count LESS 3)
+      message(FATAL_ERROR "lint flag audit found only ${lint_flag_count} "
+                          "parsed flags in ${LINT_SOURCE} — extraction regex broken?")
+    endif()
+    foreach(flag IN LISTS lint_flags)
+      if(NOT lint_help_out MATCHES "${flag}")
+        message(FATAL_ERROR "parsed flag '${flag}' is not documented in "
+                            "streamflow_lint --help:\n${lint_help_out}")
+      endif()
+    endforeach()
+  endif()
+
+  # --list-rules must enumerate the full rule table; test_lint proves the
+  # same ids can actually fire.
+  run_lint(0 lint_rules_out --list-rules)
+  foreach(rule wall-clock ambient-entropy float-type unordered-iter
+          header-pragma-once using-namespace-header raw-mutex allow-syntax)
+    if(NOT lint_rules_out MATCHES "${rule}")
+      message(FATAL_ERROR "--list-rules is missing rule '${rule}':\n${lint_rules_out}")
+    endif()
+  endforeach()
+
+  # Unknown flags must exit 2 and name the offender on stderr.
+  run_lint(2 lint_bad_out --definitely-not-a-flag)
+  if(NOT lint_bad_out_err MATCHES "unknown flag '--definitely-not-a-flag'")
+    message(FATAL_ERROR "streamflow_lint --definitely-not-a-flag did not "
+                        "report the unknown flag\nstderr:\n${lint_bad_out_err}")
+  endif()
+endif()
+
 message(STATUS "cli_smoke passed")
