@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/pattern_store.hpp"
 #include "maxplus/deterministic.hpp"
 #include "tpn/builder.hpp"
 #include "young/pattern_analysis.hpp"
@@ -61,11 +62,48 @@ double AnalysisContext::pattern_rate(const CommPattern& pattern) {
     ++stats_.pattern_hits;
     return it->second;
   }
+  // Local miss: consult the shared store (if attached) before solving. A
+  // store hit is bit-identical to a local solve — entries are immutable and
+  // published by deterministic solves of the same signature — so it counts
+  // as a pattern hit and keeps hits + misses == requests, the cache-state
+  // invariant every counter contract relies on.
+  if (store_ != nullptr) {
+    if (const std::optional<double> shared = store_->lookup(signature)) {
+      ++stats_.pattern_hits;
+      ++stats_.store_hits;
+      debug_check_store_hit(pattern, *shared);
+      pattern_cache_.emplace(std::move(signature), *shared);
+      return *shared;
+    }
+  }
   const double rate =
       pattern_flow_exponential(pattern, options_.max_states).inner_flow;
   ++stats_.pattern_misses;
+  if (store_ != nullptr) {
+    store_->publish(signature, rate);
+    ++stats_.store_publishes;
+  }
   pattern_cache_.emplace(std::move(signature), rate);
   return rate;
+}
+
+void AnalysisContext::debug_check_store_hit(const CommPattern& pattern,
+                                            double rate) {
+#ifndef NDEBUG
+  // Cross-context agreement probe: re-solve a deterministic sample of store
+  // hits (the first, then every seventh) and assert the stored rate is the
+  // bit-exact solve of the signature. Catches a corrupted or stale store
+  // entry at the first context that consumes it.
+  if (stats_.store_hits % 7 != 1) return;
+  const double reference =
+      pattern_flow_exponential(pattern, options_.max_states).inner_flow;
+  SF_ASSERT(reference == rate,
+            "shared pattern-store hit diverged from a fresh solve of the "
+            "same signature (stale or corrupted store entry)");
+#else
+  (void)pattern;
+  (void)rate;
+#endif
 }
 
 AnalysisContext::SolvedColumn AnalysisContext::solve_column(

@@ -54,10 +54,18 @@
 
 namespace streamflow {
 
+class PatternStore;
+
 /// Monotone counters of one AnalysisContext (clear() resets them).
 struct AnalysisCacheStats {
   std::size_t pattern_hits = 0;    ///< CTMC solves answered from the cache
   std::size_t pattern_misses = 0;  ///< CTMC solves computed and stored
+  /// The subset of `pattern_hits` answered by the attached PatternStore
+  /// (zero without one). hits + misses == requests stays cache-state
+  /// invariant; this split, like the local hit/miss split, is not.
+  std::size_t store_hits = 0;
+  /// Local solves published into the attached PatternStore.
+  std::size_t store_publishes = 0;
   std::size_t closed_form = 0;     ///< homogeneous Theorem 4 evaluations
   /// Feasible candidates considered (full + incremental). A pruned probe
   /// counts: the candidate WAS evaluated, just via its bound instead of the
@@ -204,6 +212,18 @@ class AnalysisContext {
   /// changes no counter.
   double commit_move(const MappingMove& move);
 
+  /// Attaches a shared PatternStore consulted on local-cache misses (and
+  /// published into after local solves); nullptr detaches. The store must
+  /// outlive every context attached to it. Results stay bit-identical with
+  /// any store, warm or cold: a store hit returns the bits a local solve of
+  /// the same signature would have produced (entries are immutable once
+  /// published and solves are deterministic; Debug builds re-solve a
+  /// sample of store hits and assert). The context itself remains
+  /// single-threaded — the store is internally synchronized, the context
+  /// is not.
+  void set_pattern_store(PatternStore* store) { store_ = store; }
+  PatternStore* pattern_store() const { return store_; }
+
   const AnalysisCacheStats& stats() const { return stats_; }
 
   /// Number of distinct heterogeneous patterns currently cached.
@@ -257,10 +277,15 @@ class AnalysisContext {
                               const MappingSearchOptions& options);
   /// Debug-only sampled re-solve of a pruned candidate (no-op in Release).
   void debug_check_pruned(const Mapping& candidate, double threshold);
+  /// Debug-only sampled re-solve of a store hit, asserting the stored rate
+  /// equals a fresh solve bit for bit (no-op in Release).
+  void debug_check_store_hit(const CommPattern& pattern, double rate);
 
   ExponentialOptions options_;
   CandidatePolicy candidate_policy_ = CandidatePolicy::kSharedDerive;
   AnalysisCacheStats stats_;
+  /// Optional shared second tier behind pattern_cache_ (not owned).
+  PatternStore* store_ = nullptr;
   // Point-queried only (find/emplace/clear/size) and NEVER iterated:
   // iteration order would depend on hash seeding and insertion history,
   // and must not be able to reach results. The unordered-iter lint rule

@@ -12,6 +12,7 @@
 #include "common/prng.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/analysis_context.hpp"
+#include "core/pattern_store.hpp"
 #include "engine/stream_factory.hpp"
 #include "engine/thread_pool.hpp"
 
@@ -213,6 +214,7 @@ ParallelSearchResult run_island_portfolio(const InstancePtr& instance,
   std::vector<IslandState> isl(islands);
   std::vector<RestartResult> rows(islands);
   AnalysisContext caller_context;
+  caller_context.set_pattern_store(options.pattern_store);
 
   // Island 0 is seeded by the full greedy restart: the portfolio can never
   // end below the greedy baseline, and its construction score doubles as
@@ -250,6 +252,9 @@ ParallelSearchResult run_island_portfolio(const InstancePtr& instance,
     }
   } else {
     std::vector<AnalysisContext> contexts(threads);  // warm across rounds
+    for (AnalysisContext& context : contexts) {
+      context.set_pattern_store(options.pattern_store);
+    }
     std::vector<RestartResult> legs(islands);
     ThreadPool pool(threads);
     for (std::size_t round = 0; round < options.sync_rounds; ++round) {
@@ -315,6 +320,7 @@ ParallelSearchResult parallel_optimize_mapping(
   std::vector<RestartResult> rows(restarts);
   if (threads <= 1) {
     AnalysisContext context;
+    context.set_pattern_store(options.pattern_store);
     rows = run_portfolio_serial(instance, options.search, starts, context);
     return assemble(instance, options.search, std::move(rows), 1);
   }
@@ -329,6 +335,7 @@ ParallelSearchResult parallel_optimize_mapping(
   for (std::size_t w = 0; w < threads; ++w) {
     pool.submit([&] {
       AnalysisContext context;
+      context.set_pattern_store(options.pattern_store);
       for (;;) {
         const std::size_t k = next.fetch_add(1);
         if (k >= restarts) return;
@@ -378,6 +385,7 @@ std::vector<ParallelSearchResult> parallel_optimize_batch(
 
   if (threads <= 1) {
     AnalysisContext context;
+    context.set_pattern_store(options.pattern_store);
     for (std::size_t j = 0; j < instances.size(); ++j) {
       results.push_back(run_scenario(j, context));
     }
@@ -393,6 +401,7 @@ std::vector<ParallelSearchResult> parallel_optimize_batch(
   for (std::size_t w = 0; w < threads; ++w) {
     pool.submit([&] {
       AnalysisContext context;  // warm across the scenarios this worker claims
+      context.set_pattern_store(options.pattern_store);
       for (;;) {
         const std::size_t j = next.fetch_add(1);
         if (j >= slots.size()) return;

@@ -40,6 +40,8 @@
 
 namespace streamflow {
 
+class PatternStore;
+
 /// How restart k obtains its random start.
 enum class RestartSeeding {
   /// Starts are drawn sequentially from one Prng(seed) in restart order —
@@ -70,6 +72,13 @@ struct ParallelSearchOptions {
   /// per-restart discipline applies. Off by default, so every scenario
   /// reuses `search.seed` exactly as the serial batch CLI always has.
   bool scenario_streams = false;
+  /// Optional process-wide PatternStore (core/pattern_store.hpp) attached
+  /// to every worker context, so restarts share pattern solves across
+  /// workers, calls, and (via snapshots) processes. Results are
+  /// bit-identical with or without it, warm or cold — a store hit returns
+  /// the bits a local solve would have — so this field, like `threads`,
+  /// can never reach a result. Not owned; must outlive the call.
+  PatternStore* pattern_store = nullptr;
 
   // ---- Metaheuristic island portfolio (search.kind != kGreedyLocal) -------
   //

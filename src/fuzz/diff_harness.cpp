@@ -4,8 +4,10 @@
 #include <sstream>
 
 #include "common/stats.hpp"
+#include "core/analysis_context.hpp"
 #include "core/analyzer.hpp"
 #include "core/heuristics.hpp"
+#include "core/pattern_store.hpp"
 #include "engine/parallel_search.hpp"
 #include "engine/sim_replication.hpp"
 #include "fuzz/minimize.hpp"
@@ -17,7 +19,7 @@ namespace {
 
 constexpr const char* kCheckNames[kNumChecks] = {
     "analyzer-ci", "nbue-sandwich", "maxplus-bound", "determinism",
-    "pruned-search"};
+    "pruned-search", "shared-store"};
 
 /// Formats a double with round-trip precision for diagnostics and JSON.
 std::string fmt(double value) {
@@ -430,6 +432,86 @@ ScenarioVerdict check_scenario(const Scenario& scenario,
       set_pass(check);
     } else {
       set_fail(check, failure);
+    }
+  }
+
+  // ---- Check 6: warm shared PatternStore == private-cache path, bit-exact --
+  if (selected(CheckId::kSharedStore)) {
+    CheckResult& check = verdict.checks[5];
+    if (model == ExecutionModel::kStrict) {
+      set_skip(check,
+               "strict model evaluates via the general CTMC; no pattern "
+               "solves to share");
+    } else {
+      try {
+        // Reference: the private-cache path every PR through 9 used.
+        AnalysisContext cold;
+        const ExponentialThroughput reference =
+            cold.exponential(mapping, model);
+        const std::size_t cold_requests =
+            cold.stats().pattern_hits + cold.stats().pattern_misses;
+        // Warm a shared store through one context, then re-evaluate through
+        // a second context that sees the first one's solves as store hits.
+        PatternStore store(4);
+        AnalysisContext warmer;
+        warmer.set_pattern_store(&store);
+        (void)warmer.exponential(mapping, model);
+        if (hooks.store_rate_transform) {
+          store.transform_rates(hooks.store_rate_transform);
+        }
+        std::string failure;
+        try {
+          AnalysisContext reader;
+          reader.set_pattern_store(&store);
+          const ExponentialThroughput warmed =
+              reader.exponential(mapping, model);
+          const std::size_t warm_requests =
+              reader.stats().pattern_hits + reader.stats().pattern_misses;
+          if (warmed.throughput != reference.throughput ||
+              warmed.in_order_throughput != reference.in_order_throughput) {
+            failure = "warm-store throughput " + fmt(warmed.throughput) +
+                      " / " + fmt(warmed.in_order_throughput) + " != cold " +
+                      fmt(reference.throughput) + " / " +
+                      fmt(reference.in_order_throughput);
+          } else if (warm_requests != cold_requests) {
+            failure = "warm-store pattern requests " +
+                      std::to_string(warm_requests) + " != cold " +
+                      std::to_string(cold_requests) +
+                      " (request totals must be cache-state invariant)";
+          } else if (warmed.components.size() != reference.components.size()) {
+            failure = "warm-store component count " +
+                      std::to_string(warmed.components.size()) + " != cold " +
+                      std::to_string(reference.components.size());
+          } else {
+            for (std::size_t k = 0; k < reference.components.size(); ++k) {
+              const ComponentInfo& a = reference.components[k];
+              const ComponentInfo& b = warmed.components[k];
+              if (a.label != b.label || a.inner != b.inner ||
+                  a.effective != b.effective || a.bottleneck != b.bottleneck) {
+                failure = "warm-store component '" + b.label + "' (inner " +
+                          fmt(b.inner) + ", effective " + fmt(b.effective) +
+                          ") != cold '" + a.label + "' (inner " + fmt(a.inner) +
+                          ", effective " + fmt(a.effective) + ")";
+                break;
+              }
+            }
+          }
+        } catch (const Error& error) {
+          // In Debug the sampled re-solve probe inside AnalysisContext
+          // throws on a stale store entry — that is a detection, not an
+          // infrastructure failure.
+          failure = std::string("warm-store evaluation failed: ") +
+                    error.what();
+        }
+        if (failure.empty()) {
+          set_pass(check);
+        } else {
+          set_fail(check, failure);
+        }
+      } catch (const Error& error) {
+        set_skip(check, std::string("exponential analysis unavailable: ") +
+                            error.what());
+      }
     }
   }
 

@@ -1,4 +1,4 @@
-// Differential cross-check harness: five independent evaluators of the
+// Differential cross-check harness: six independent evaluators of the
 // same quantity, checked against each other over the whole scenario corpus.
 //
 // For every Scenario the harness cross-checks:
@@ -22,7 +22,15 @@
 //                    evaluation count as the unscreened search, bit for bit
 //                    — screens may only skip candidates that provably lose
 //                    — and the prune accounting is exact: screened
-//                    moves_solved + pruned equals unscreened moves_solved.
+//                    moves_solved + pruned equals unscreened moves_solved;
+//   kSharedStore   — evaluating through a warm process-wide PatternStore
+//                    (core/pattern_store) is bit-identical to the private-
+//                    cache path: throughput, in-order rate, and every
+//                    component (label, inner, effective, bottleneck flag)
+//                    of the exponential analysis, plus the cache-state-
+//                    invariant pattern-request total. Skipped for the
+//                    Strict model (general CTMC — no pattern solves to
+//                    share).
 //
 // Every analytic quantity flows through a HarnessHooks slot so tests can
 // inject an off-by-epsilon evaluator shim and prove each check can actually
@@ -61,9 +69,10 @@ enum class CheckId {
   kMaxplusBound = 2,
   kDeterminism = 3,
   kPrunedSearch = 4,
+  kSharedStore = 5,
 };
 
-constexpr std::size_t kNumChecks = 5;
+constexpr std::size_t kNumChecks = 6;
 
 std::string to_string(CheckId check);
 
@@ -106,6 +115,12 @@ struct HarnessHooks {
   /// catches an off-by-one-ulp bound comparison.
   std::function<double(const InstancePtr&, const MappingSearchOptions&)>
       pruned_search_score;
+  /// Applied to every rate in the warm PatternStore before the shared-store
+  /// check re-reads it (default: none — the store keeps the published
+  /// bits). The mutation test injects a one-ulp stale-entry shim to prove
+  /// the check catches a store that hands back bits a fresh solve would not
+  /// produce.
+  std::function<double(double)> store_rate_transform;
 };
 
 struct HarnessOptions {
@@ -194,7 +209,7 @@ struct HarnessReport {
 ScenarioVerdict check_scenario(const Scenario& scenario,
                                const HarnessOptions& options,
                                const HarnessHooks& hooks = {},
-                               unsigned check_mask = 0x1F);
+                               unsigned check_mask = 0x3F);
 
 /// True when `check` fails on `scenario` — the minimizer's oracle (runs
 /// only that check).

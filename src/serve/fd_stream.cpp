@@ -1,0 +1,53 @@
+#include "serve/fd_stream.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace streamflow {
+
+FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
+  setg(in_buf_.data(), in_buf_.data(), in_buf_.data());
+  setp(out_buf_.data(), out_buf_.data() + out_buf_.size());
+}
+
+FdStreamBuf::~FdStreamBuf() { flush_pending(); }
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t got = 0;
+  do {
+    got = ::read(fd_, in_buf_.data(), in_buf_.size());
+  } while (got < 0 && errno == EINTR);
+  if (got <= 0) return traits_type::eof();
+  setg(in_buf_.data(), in_buf_.data(), in_buf_.data() + got);
+  return traits_type::to_int_type(*gptr());
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (!flush_pending()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreamBuf::sync() { return flush_pending() ? 0 : -1; }
+
+bool FdStreamBuf::flush_pending() {
+  const char* begin = pbase();
+  const char* end = pptr();
+  while (begin < end) {
+    const ssize_t wrote = ::write(fd_, begin, static_cast<size_t>(end - begin));
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    begin += wrote;
+  }
+  setp(out_buf_.data(), out_buf_.data() + out_buf_.size());
+  return true;
+}
+
+}  // namespace streamflow

@@ -1,0 +1,46 @@
+// FdStreamBuf — a minimal std::streambuf over a POSIX file descriptor.
+//
+// The serve mode speaks line-delimited JSON over whatever byte stream the
+// caller hands it: stdin/stdout in pipe mode (CI, the test battery, the
+// load generator) or an AF_UNIX connection in socket mode. The iostream
+// serve loop (serve/server.hpp) is written once against std::istream /
+// std::ostream; this buffer adapts a raw descriptor to that interface so
+// the socket path reuses the exact pipe-mode loop — same batching, same
+// byte-identical responses.
+//
+// Semantics: buffered reads and writes (4 KiB each way), EINTR retried,
+// partial writes completed. The buffer never owns the descriptor — the
+// caller closes it after destroying the streams. A read of 0 bytes (EOF /
+// peer hangup) surfaces as end-of-stream; write errors put the stream in a
+// failed state via the usual streambuf protocol.
+#pragma once
+
+#include <array>
+#include <streambuf>
+
+namespace streamflow {
+
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd);
+  ~FdStreamBuf() override;
+
+  FdStreamBuf(const FdStreamBuf&) = delete;
+  FdStreamBuf& operator=(const FdStreamBuf&) = delete;
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  /// Writes the pending output buffer in full (retrying partial writes and
+  /// EINTR); returns false on a write error.
+  bool flush_pending();
+
+  int fd_;
+  std::array<char, 4096> in_buf_;
+  std::array<char, 4096> out_buf_;
+};
+
+}  // namespace streamflow

@@ -1,5 +1,5 @@
 // Mutation-style negative tests for the differential harness
-// (fuzz/diff_harness.hpp): each of the five cross-checks must actually FAIL
+// (fuzz/diff_harness.hpp): each of the six cross-checks must actually FAIL
 // when its evaluator is skewed through a HarnessHooks shim — the guard
 // against a vacuously green harness — and every divergence must be reported
 // and minimized into a replayable fixture. Also pins the library-level
@@ -146,6 +146,34 @@ TEST(FuzzHarness, PrunedSearchCheckDetectsOneUlpBoundSkew) {
   EXPECT_TRUE(check_fails(scenario, CheckId::kPrunedSearch, options, hooks));
   // The real screened searches are bit-identical on the same scenario.
   EXPECT_FALSE(check_fails(scenario, CheckId::kPrunedSearch, options, {}));
+}
+
+// ---- Invariant 6: warm shared store == private cache, bit for bit ----------
+
+TEST(FuzzHarness, SharedStoreCheckDetectsStaleEntry) {
+  const HarnessOptions options = fast_options();
+  HarnessHooks hooks;
+  // The stale-entry fault the Debug re-solve probe exists for: every rate
+  // in the warm store drifts one ulp before the warm re-read. An honest
+  // store hands back exactly the published bits, so any drift here is a
+  // contract violation the check must catch.
+  hooks.store_rate_transform = [](double rate) {
+    return std::nextafter(rate, 2.0 * rate + 1.0);
+  };
+  // The shim only bites where the analysis actually consults the store
+  // (Overlap model with heterogeneous patterns); scan the corpus slice for
+  // the first such scenario and require the flip FAIL -> PASS there.
+  bool found = false;
+  for (std::uint64_t k = 0; k < 25 && !found; ++k) {
+    const Scenario scenario = draw_scenario(options.corpus, k);
+    if (check_fails(scenario, CheckId::kSharedStore, options, hooks)) {
+      found = true;
+      EXPECT_FALSE(check_fails(scenario, CheckId::kSharedStore, options, {}))
+          << scenario.label();
+    }
+  }
+  EXPECT_TRUE(found)
+      << "no corpus scenario routes pattern solves through the shared store";
 }
 
 // ---- Divergence reporting and minimization ---------------------------------

@@ -44,6 +44,13 @@ for config in "${configs[@]}"; do
     echo "==> ${config}: bench smoke (sampling throughput)"
     "./${build_dir}/bench_sampling_throughput" --quick \
         --json "${build_dir}/BENCH_sampling_throughput.json"
+    # The serve load generator SHAPE-checks the pattern-store contract end
+    # to end (warm responses byte-identical to the cold baseline, warm
+    # requests/sec win) and reports rps + p50/p95/p99 for both runs.
+    echo "==> ${config}: bench smoke (serve load)"
+    "./${build_dir}/bench_serve_load" --quick \
+        --json "${build_dir}/BENCH_serve_load.json"
+    grep -q '"identical_responses":true' "${build_dir}/BENCH_serve_load.json"
     # The differential corpus slice already ran (and gated) as the
     # fuzz_smoke CTest above; re-emit its machine-readable report as a
     # build artifact next to the bench JSONs.
@@ -53,6 +60,7 @@ for config in "${configs[@]}"; do
     echo "==> ${config}: bench summary artifacts"
     cat "${build_dir}/BENCH_search_throughput.json"
     cat "${build_dir}/BENCH_sampling_throughput.json"
+    cat "${build_dir}/BENCH_serve_load.json"
     cat "${build_dir}/FUZZ_report.json"
   fi
 done

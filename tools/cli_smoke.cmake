@@ -91,6 +91,17 @@ expect_flag_error(--islands search x.instance --islands 0)
 expect_flag_error(--sync-rounds search x.instance --sync-rounds 2.5)
 expect_flag_error(--sync-rounds search x.instance --sync-rounds 0)
 
+# Pattern-store and serve-mode flags: shard counts and batch sizes must be
+# positive integers, and the path-valued flags must reject a missing value
+# instead of silently consuming the next option.
+expect_flag_error(--store-shards search x.instance --store-shards 0)
+expect_flag_error(--store-shards serve --store-shards -4)
+expect_flag_error(--batch serve --batch 0)
+expect_flag_error(--batch serve --batch 2.5)
+expect_flag_error(--cache-load search x.instance --cache-load)
+expect_flag_error(--cache-save search x.instance --cache-save)
+expect_flag_error(--socket serve --socket)
+
 # example -> analyze -> simulate -> export-tpn on a real instance.
 set(instance "${WORK_DIR}/example.instance")
 run_cli(0 example_out example)
@@ -245,6 +256,70 @@ if(NOT rep1_norm STREQUAL rep4_norm)
   message(FATAL_ERROR "replicated simulate is not deterministic across "
                       "--threads:\n--- 1 thread ---\n${rep1_out}\n"
                       "--- 4 threads ---\n${rep4_out}")
+endif()
+
+# Pattern-store snapshot round trip: a --shared-store search saves a
+# snapshot, a second search warm-starts from it (any --threads), and the
+# result must be byte-identical to the storeless baseline — the store and
+# its persistence may change speed, never bytes. The transient store
+# reporting lines are stripped before comparing (they are new output, not
+# changed output).
+run_cli(0 nostore_out search "${instance}" --objective exp --restarts 4
+        --seed 3)
+run_cli(0 save_out search "${instance}" --objective exp --restarts 4
+        --seed 3 --shared-store --store-shards 8
+        --cache-save "${WORK_DIR}/patterns.snapshot")
+if(NOT save_out MATCHES "pattern store:" OR
+   NOT EXISTS "${WORK_DIR}/patterns.snapshot")
+  message(FATAL_ERROR "--cache-save did not write a snapshot:\n${save_out}")
+endif()
+run_cli(0 load_out search "${instance}" --objective exp --restarts 4
+        --seed 3 --shared-store --store-shards 8 --threads 4
+        --cache-load "${WORK_DIR}/patterns.snapshot")
+foreach(var nostore_out save_out load_out)
+  string(REGEX REPLACE "\npattern store:[^\n]*" "" ${var}_strip "${${var}}")
+  string(REGEX REPLACE "on [0-9]+ worker" "on N worker"
+         ${var}_norm "${${var}_strip}")
+endforeach()
+if(NOT save_out_norm STREQUAL nostore_out_norm OR
+   NOT load_out_norm STREQUAL nostore_out_norm)
+  message(FATAL_ERROR "shared-store search changed the result bytes:\n"
+                      "--- baseline ---\n${nostore_out}\n"
+                      "--- cold store ---\n${save_out}\n"
+                      "--- warm store ---\n${load_out}")
+endif()
+
+# A corrupted snapshot must be rejected loudly (library error, exit 1).
+file(WRITE "${WORK_DIR}/bad.snapshot"
+     "streamflow-pattern-store v9\nentries 0\ndigest cbf29ce484222325\n")
+run_cli(1 badsnap_out search "${instance}" --shared-store
+        --cache-load "${WORK_DIR}/bad.snapshot")
+if(NOT badsnap_out_err MATCHES "unsupported snapshot version")
+  message(FATAL_ERROR "version-skewed snapshot was not rejected:\n"
+                      "${badsnap_out_err}")
+endif()
+
+# Serve pipe mode: a short request script (ping, malformed line, shutdown)
+# through stdin/stdout; the malformed line must come back ok:false without
+# ending the session, and shutdown must be acknowledged.
+file(WRITE "${WORK_DIR}/serve_requests.jsonl"
+     "{\"id\":1,\"op\":\"ping\"}\n{\"op\":\"frobnicate\"}\n{\"id\":3,\"op\":\"shutdown\"}\n")
+execute_process(COMMAND "${CLI}" serve --threads 2
+                INPUT_FILE "${WORK_DIR}/serve_requests.jsonl"
+                RESULT_VARIABLE serve_rc
+                OUTPUT_VARIABLE serve_out
+                ERROR_VARIABLE serve_err)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "streamflow_cli serve exited ${serve_rc}:\n${serve_err}")
+endif()
+if(NOT serve_out MATCHES "\"id\":1,\"ok\":true,\"result\":\\{\"pong\":true\\}" OR
+   NOT serve_out MATCHES "\"ok\":false,\"error\":\"unknown op 'frobnicate'" OR
+   NOT serve_out MATCHES "\"id\":3,\"ok\":true,\"result\":\\{\"stopping\":true\\}")
+  message(FATAL_ERROR "serve pipe-mode responses incomplete:\n${serve_out}")
+endif()
+if(NOT serve_err MATCHES "3 request\\(s\\)" OR
+   NOT serve_err MATCHES "shutdown requested")
+  message(FATAL_ERROR "serve accounting line missing:\n${serve_err}")
 endif()
 
 # --- streamflow_lint smoke (optional: -DLINT=<binary> -DLINT_SOURCE=<cpp>) --

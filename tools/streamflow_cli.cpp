@@ -53,6 +53,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -61,10 +62,12 @@
 #include "core/analysis_context.hpp"
 #include "core/analyzer.hpp"
 #include "core/heuristics.hpp"
+#include "core/pattern_store.hpp"
 #include "engine/parallel_search.hpp"
 #include "engine/sim_replication.hpp"
 #include "fuzz/diff_harness.hpp"
 #include "model/serialization.hpp"
+#include "serve/server.hpp"
 #include "sim/pipeline_sim.hpp"
 #include "tpn/builder.hpp"
 
@@ -84,8 +87,13 @@ void print_usage(std::ostream& out) {
       << "             [--kind greedy|anneal|tabu]\n"
       << "             [--prune none|mct|maxplus]\n"
       << "             [--islands I] [--sync-rounds N]\n"
+      << "             [--shared-store] [--store-shards N]\n"
+      << "             [--cache-load FILE] [--cache-save FILE]\n"
       << "  streamflow search --scenarios <list-file> [same options]\n"
       << "             [--scenario-streams]\n"
+      << "  streamflow serve [--threads T] [--batch B] [--socket PATH]\n"
+      << "             [--store-shards N]\n"
+      << "             [--cache-load FILE] [--cache-save FILE]\n"
       << "  streamflow export-tpn <instance> [--model overlap|strict]\n"
       << "  streamflow example\n"
       << "  streamflow fuzz [--seed S] [--count N] [--replications R]\n"
@@ -126,17 +134,40 @@ void print_usage(std::ostream& out) {
       << "incumbents round-robin at --sync-rounds serial sync points, so\n"
       << "the outcome is a pure function of (seed, options) for every\n"
       << "--threads value. --kind anneal|tabu is per-instance only and\n"
-      << "cannot be combined with --scenarios.\n"
+      << "cannot be combined with --scenarios. --shared-store evaluates\n"
+      << "through the process-wide pattern store (implied by --store-shards\n"
+      << "N, which uses a private store of N shards instead, and by\n"
+      << "--cache-load/--cache-save): workers share pattern solves across\n"
+      << "restarts and — via snapshots — across runs, and the result stays\n"
+      << "bit-identical to a private-cache search. --cache-load FILE\n"
+      << "warm-starts the store from a snapshot (digest-validated; a\n"
+      << "missing file is a cold start); --cache-save FILE writes one\n"
+      << "after the search.\n"
+      << "\n"
+      << "serve runs the long-lived evaluation service: one flat JSON\n"
+      << "request per line (op = ping|analyze|search|simulate|stats|\n"
+      << "shutdown) on stdin/stdout, or on an AF_UNIX socket with --socket\n"
+      << "PATH. Up to --batch B pipelined requests are evaluated\n"
+      << "concurrently on --threads T workers; every response is a pure\n"
+      << "function of its request line — byte-identical for any store\n"
+      << "warmth, batching, request interleaving, or --threads value (op\n"
+      << "stats, which reports live store counters, is the one exception).\n"
+      << "All requests share the process-wide pattern store;\n"
+      << "--cache-load/--cache-save warm-start and snapshot it, and a\n"
+      << "shutdown request drains the in-flight batch before the loop\n"
+      << "stops.\n"
       << "\n"
       << "fuzz draws a deterministic scenario corpus (scenario k is a pure\n"
       << "function of --seed and k) spanning five structural regimes and\n"
-      << "every timing-law family, and differentially cross-checks five\n"
+      << "every timing-law family, and differentially cross-checks six\n"
       << "evaluators on each scenario: the exponential analyzer against the\n"
       << "replicated simulation CI, Theorem 7's N.B.U.E. sandwich, the\n"
       << "max-plus deterministic upper bound, serial/parallel plus\n"
-      << "sampling-mode determinism, and the bound-screened search against\n"
+      << "sampling-mode determinism, the bound-screened search against\n"
       << "the unscreened search (bit-identical scores, mappings, and\n"
-      << "evaluation counts). Each divergence is minimized and\n"
+      << "evaluation counts), and the warm shared pattern store against\n"
+      << "the private-cache path (bit-identical analyses, component by\n"
+      << "component). Each divergence is minimized and\n"
       << "written to --divergence-dir as a replayable .scenario fixture;\n"
       << "--json writes the full machine-readable report; --digest prints\n"
       << "the status-only digest (bit-identical for every --threads AND\n"
@@ -170,6 +201,14 @@ struct CliArgs {
   std::string prune = "none";     // "none" | "mct" | "maxplus"
   std::size_t islands = 4;
   std::size_t sync_rounds = 8;
+  // shared pattern store (search and serve)
+  bool shared_store = false;    // evaluate through the process-wide store
+  std::size_t store_shards = 0;  // 0 = process-wide store; N = private store
+  std::string cache_load;        // snapshot to warm-start from
+  std::string cache_save;        // snapshot to write afterwards
+  // serve options
+  std::size_t batch = 16;    // max requests per dispatched batch
+  std::string socket_path;   // empty = stdin/stdout pipe mode
   // fuzz options (fuzz/diff_harness.hpp). The harness has its own
   // replications/data-sets defaults, so remember whether the shared flags
   // were given explicitly.
@@ -319,6 +358,28 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       const char* v = next();
       if (!v) return flag_error(a, v, "an output directory");
       args.emit_corpus_dir = v;
+    } else if (a == "--shared-store") {
+      args.shared_store = true;
+    } else if (a == "--store-shards") {
+      const char* v = next();
+      if (!v || !parse_integer(v, args.store_shards) || args.store_shards == 0)
+        return flag_error(a, v, "a positive integer");
+    } else if (a == "--cache-load") {
+      const char* v = next();
+      if (!v) return flag_error(a, v, "a snapshot file path");
+      args.cache_load = v;
+    } else if (a == "--cache-save") {
+      const char* v = next();
+      if (!v) return flag_error(a, v, "a snapshot file path");
+      args.cache_save = v;
+    } else if (a == "--batch") {
+      const char* v = next();
+      if (!v || !parse_integer(v, args.batch) || args.batch == 0)
+        return flag_error(a, v, "a positive integer");
+    } else if (a == "--socket") {
+      const char* v = next();
+      if (!v) return flag_error(a, v, "a socket path");
+      args.socket_path = v;
     } else if (a == "--digest") {
       args.digest = true;
     } else if (a == "--no-minimize") {
@@ -451,13 +512,58 @@ std::vector<std::string> read_scenarios(const std::string& path) {
   return result;
 }
 
+/// Resolves the shared-store flags: a private store of --store-shards
+/// shards (held in `local`) or the process-wide store, warm-started from
+/// --cache-load when given. Returns null when no store flag was passed.
+PatternStore* select_store(const CliArgs& args,
+                           std::optional<PatternStore>& local,
+                           std::size_t& loaded) {
+  const bool wants_store = args.shared_store || args.store_shards > 0 ||
+                           !args.cache_load.empty() ||
+                           !args.cache_save.empty();
+  if (!wants_store) return nullptr;
+  PatternStore* store;
+  if (args.store_shards > 0) {
+    local.emplace(args.store_shards);
+    store = &*local;
+  } else {
+    store = &PatternStore::process_wide();
+  }
+  // A nonexistent snapshot is a cold start (returns 0); an invalid one
+  // throws with a line diagnostic before any search work happens.
+  if (!args.cache_load.empty()) loaded = store->load_file(args.cache_load);
+  return store;
+}
+
+/// Search-mode store report. Prints only scheduling-invariant quantities
+/// (entry count, shard count, digest) — the store hit/miss SPLIT depends on
+/// which worker solved a pattern first, so it stays unreported, exactly
+/// like the per-context split.
+void report_store(const CliArgs& args, PatternStore& store,
+                  std::size_t loaded) {
+  std::cout << "pattern store: " << store.size() << " entries in "
+            << store.shard_count() << " shard(s)";
+  if (loaded > 0) std::cout << ", " << loaded << " warm-started";
+  std::cout << ", digest " << std::hex << store.digest() << std::dec
+            << " (results bit-identical to a private-cache run)\n";
+  if (!args.cache_save.empty()) {
+    store.save_file(args.cache_save);
+    std::cout << "pattern store: snapshot saved to '" << args.cache_save
+              << "'\n";
+  }
+}
+
 int cmd_search(const CliArgs& args) {
   if (!args.instance_path.empty() && !args.scenarios_path.empty()) {
     throw InvalidArgument(
         "pass either an instance file or --scenarios, not both (list every "
         "instance in the scenario file)");
   }
+  std::optional<PatternStore> local_store;
+  std::size_t warm_loaded = 0;
+  PatternStore* store = select_store(args, local_store, warm_loaded);
   ParallelSearchOptions options;
+  options.pattern_store = store;
   options.search.model = args.model;
   if (args.objective.empty()) {
     // The exponential objective needs the column method (Overlap only).
@@ -539,6 +645,7 @@ int cmd_search(const CliArgs& args) {
                 << " by max-plus), " << result.moves_solved
                 << " solved exactly; result bit-identical to --prune none\n";
     }
+    if (store != nullptr) report_store(args, *store, warm_loaded);
     return 0;
   }
 
@@ -585,6 +692,44 @@ int cmd_search(const CliArgs& args) {
   std::cout << "evaluations    : " << evaluations << " total, "
             << pattern_requests << " pattern solves requested (rows "
             << "independent of --threads)\n";
+  if (store != nullptr) report_store(args, *store, warm_loaded);
+  return 0;
+}
+
+int cmd_serve(const CliArgs& args) {
+  ServeOptions options;
+  options.threads = args.threads;
+  options.max_batch = args.batch;
+  // serve always shares a store across requests: a private one when
+  // --store-shards is given, the process-wide instance otherwise.
+  std::optional<PatternStore> local_store;
+  if (args.store_shards > 0) local_store.emplace(args.store_shards);
+  PatternStore& store =
+      local_store ? *local_store : PatternStore::process_wide();
+  options.store = &store;
+  if (!args.cache_load.empty()) {
+    const std::size_t loaded = store.load_file(args.cache_load);
+    // Diagnostics go to stderr: stdout is the response channel in pipe
+    // mode, and its bytes are part of the determinism contract.
+    std::cerr << "serve: warm-started " << loaded << " pattern entries from '"
+              << args.cache_load << "' (store digest " << std::hex
+              << store.digest() << std::dec << ")\n";
+  }
+  const ServeResult result =
+      args.socket_path.empty()
+          ? run_serve_loop(std::cin, std::cout, options)
+          : run_serve_socket(args.socket_path, options);
+  if (!args.cache_save.empty()) {
+    store.save_file(args.cache_save);
+    std::cerr << "serve: saved " << store.size() << " pattern entries to '"
+              << args.cache_save << "'\n";
+  }
+  std::cerr << "serve: " << result.requests << " request(s) in "
+            << result.batches << " batch(es), " << result.errors
+            << " error(s), "
+            << (result.shutdown_requested ? "shutdown requested"
+                                          : "input closed")
+            << "\n";
   return 0;
 }
 
@@ -696,6 +841,7 @@ int main(int argc, char** argv) {
   try {
     if (args.command == "example") return cmd_example();
     if (args.command == "fuzz") return cmd_fuzz(args);
+    if (args.command == "serve") return cmd_serve(args);
     if (args.command == "search" &&
         (!args.instance_path.empty() || !args.scenarios_path.empty())) {
       return cmd_search(args);
